@@ -1,0 +1,112 @@
+// Ablation A5: the §3.2 layout problem — an edited (fragmented) media file
+// vs a contiguous one. Random block placement defeats the 256 KiB
+// coalescing, multiplies per-interval requests, and breaks the rate
+// guarantee exactly as the paper warns.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/stats/summary.h"
+
+namespace {
+
+using cras::Testbed;
+using crbase::Seconds;
+
+struct Outcome {
+  double contiguity = 0;
+  double actual_io_ms_per_interval = 0;
+  double reqs_per_interval = 0;
+  std::int64_t frames_missed = 0;
+  double max_delay_ms = 0;
+};
+
+enum class Layout { kContiguous, kFragmented, kRearranged };
+
+const char* LayoutName(Layout layout) {
+  switch (layout) {
+    case Layout::kContiguous:
+      return "contiguous";
+    case Layout::kFragmented:
+      return "fragmented";
+    case Layout::kRearranged:
+      return "rearranged";
+  }
+  return "?";
+}
+
+Outcome RunOne(Layout layout, int streams) {
+  Testbed bed;
+  bed.StartServers();
+  auto files = crbench::MakeMpeg1Files(bed, streams, Seconds(15));
+  if (layout != Layout::kContiguous) {
+    crbase::Rng rng(7);
+    for (const auto& file : files) {
+      CRAS_CHECK_OK(bed.fs.Fragment(file.inode, rng));
+    }
+  }
+  if (layout == Layout::kRearranged) {
+    // The paper's remedy: rearrange the edited files before playback.
+    for (const auto& file : files) {
+      CRAS_CHECK_OK(bed.fs.Rearrange(file.inode));
+    }
+  }
+  Outcome outcome;
+  outcome.contiguity = bed.fs.ContiguityOf(files[0].inode);
+  std::vector<std::unique_ptr<cras::PlayerStats>> stats;
+  std::vector<crsim::Task> players;
+  cras::PlayerOptions player_options;
+  player_options.play_length = Seconds(12);
+  for (int i = 0; i < streams; ++i) {
+    stats.push_back(std::make_unique<cras::PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)], player_options,
+                                            stats.back().get()));
+  }
+  bed.engine().RunFor(Seconds(16));
+  crstats::Summary actual;
+  crstats::Summary requests;
+  for (const cras::IntervalRecord& record : bed.cras_server.interval_records()) {
+    if (record.requests >= streams) {
+      actual.Add(crbase::ToMilliseconds(record.actual_io));
+      requests.Add(static_cast<double>(record.requests));
+    }
+  }
+  outcome.actual_io_ms_per_interval = actual.mean();
+  outcome.reqs_per_interval = requests.mean();
+  for (const auto& s : stats) {
+    outcome.frames_missed += s->frames_missed;
+    outcome.max_delay_ms =
+        std::max(outcome.max_delay_ms, crbase::ToMilliseconds(s->max_delay()));
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  crstats::PrintBanner("Ablation A5: contiguous vs fragmented ('edited') media files");
+  crstats::Table table({"streams", "layout", "contiguity", "reqs_per_interval",
+                        "actual_io_ms", "max_delay_ms", "missed"});
+  table.SetCsv(csv);
+  for (int streams : {1, 4, 8}) {
+    for (Layout layout : {Layout::kContiguous, Layout::kFragmented, Layout::kRearranged}) {
+      const Outcome o = RunOne(layout, streams);
+      table.Cell(static_cast<std::int64_t>(streams))
+          .Cell(LayoutName(layout))
+          .Cell(o.contiguity, 2)
+          .Cell(o.reqs_per_interval, 1)
+          .Cell(o.actual_io_ms_per_interval, 1)
+          .Cell(o.max_delay_ms, 1)
+          .Cell(o.frames_missed);
+      table.EndRow();
+    }
+  }
+  table.Print();
+  std::printf("\nExpected: fragmentation multiplies per-interval requests and I/O time;\n"
+              "beyond a few streams the interval deadline cannot hold. Rearranging the\n"
+              "files (the paper's remedy, Ufs::Rearrange) restores contiguous-layout\n"
+              "behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Ablation A8: zoned bit recording and admission conservatism.
+//
+// The real ST32550N records 126 sectors/track on outer cylinders but only
+// 90 on inner ones — a 7.7 -> 5.5 MB/s media-rate slope the paper's uniform
+// 6.5 MB/s figure averages away. If the admission test assumes the average
+// rate but files happen to live on the innermost zone, every interval's
+// transfer estimate is too optimistic; assuming the worst-case (inner) rate
+// restores the guarantee at the cost of admitted capacity.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/admission.h"
+
+namespace {
+
+using cras::Testbed;
+using cras::TestbedOptions;
+using crbase::Seconds;
+
+struct Outcome {
+  int attempted = 0;
+  int admitted = 0;
+  std::int64_t frames_missed = 0;
+  std::int64_t deadline_misses = 0;
+  double max_io_ratio_pct = 0;  // worst interval: actual/estimated I/O time
+};
+
+Outcome RunOne(bool inner_placement, bool worst_case_admission) {
+  TestbedOptions options;
+  options.device.geometry = crdisk::St32550nZonedGeometry();
+  options.ufs.geometry = options.device.geometry;
+  if (worst_case_admission) {
+    options.cras.disk_params.transfer_rate = options.device.geometry.MinTransferRate();
+  } else {
+    // The paper's Table 4 average figure.
+    options.cras.disk_params.transfer_rate = 6.5e6;
+  }
+  options.cras.memory_budget_bytes = 48 * crbase::kMiB;
+  // A transfer-dominated interval narrows the seek/rotation slack that
+  // would otherwise mask the zone-rate optimism.
+  options.cras.interval = crbase::MillisecondsF(1500);
+  Testbed bed(options);
+  bed.StartServers();
+
+  if (inner_placement) {
+    // Occupy the outer two zones so the movies land on the slow inner ones.
+    crufs::InodeNumber filler = *bed.fs.Create("filler");
+    const std::int64_t outer_bytes =
+        (bed.fs.total_blocks() * bed.fs.block_size()) * 6 / 10;
+    CRAS_CHECK_OK(bed.fs.PreallocateContiguous(filler, outer_bytes));
+  }
+
+  // Attempt the admission capacity computed for this configuration.
+  cras::AdmissionModel model(options.cras.disk_params, options.cras.interval,
+                             options.cras.max_read_bytes);
+  cras::StreamDemand demand{crmedia::kMpeg1BytesPerSec, 6250};
+  std::vector<cras::StreamDemand> demands;
+  Outcome outcome;
+  while (outcome.attempted < 40) {
+    demands.push_back(demand);
+    if (!model.Admissible(demands, options.cras.memory_budget_bytes)) {
+      break;
+    }
+    ++outcome.attempted;
+  }
+
+  auto files = crbench::MakeMpeg1Files(bed, outcome.attempted, Seconds(13));
+  std::vector<std::unique_ptr<cras::PlayerStats>> stats;
+  std::vector<crsim::Task> players;
+  cras::PlayerOptions player_options;
+  player_options.play_length = Seconds(10);
+  for (int i = 0; i < outcome.attempted; ++i) {
+    player_options.start_delay = crbase::Milliseconds(73) * i;
+    stats.push_back(std::make_unique<cras::PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)], player_options,
+                                            stats.back().get()));
+  }
+  bed.engine().RunFor(Seconds(16));
+  for (const auto& s : stats) {
+    if (!s->open_rejected) {
+      ++outcome.admitted;
+      outcome.frames_missed += s->frames_missed;
+    }
+  }
+  outcome.deadline_misses = bed.cras_server.stats().deadline_misses;
+  for (const cras::IntervalRecord& record : bed.cras_server.interval_records()) {
+    if (record.requests >= outcome.admitted && record.estimated_io > 0) {
+      outcome.max_io_ratio_pct =
+          std::max(outcome.max_io_ratio_pct, 100.0 * static_cast<double>(record.actual_io) /
+                                                 static_cast<double>(record.estimated_io));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  crstats::PrintBanner("Ablation A8: zoned recording (7.7 outer -> 5.5 MB/s inner)");
+  crstats::Table table({"placement", "admission_D", "admitted", "max_io_ratio_pct",
+                        "frames_missed", "deadline_misses"});
+  table.SetCsv(csv);
+  struct Config {
+    const char* placement;
+    const char* rate_label;
+    bool inner;
+    bool worst_case;
+  };
+  const Config configs[] = {
+      {"outer_zones", "avg_6.5MBps", false, false},
+      {"inner_zones", "avg_6.5MBps", true, false},
+      {"inner_zones", "worst_5.5MBps", true, true},
+  };
+  for (const Config& config : configs) {
+    const Outcome o = RunOne(config.inner, config.worst_case);
+    table.Cell(config.placement)
+        .Cell(config.rate_label)
+        .Cell(static_cast<std::int64_t>(o.admitted))
+        .Cell(o.max_io_ratio_pct, 1)
+        .Cell(o.frames_missed)
+        .Cell(o.deadline_misses);
+    table.EndRow();
+  }
+  table.Print();
+  std::printf("\nExpected: inner-zone placement pushes the measured interval I/O toward\n"
+              "(or past) the average-rate estimate — the formula's seek/rotation\n"
+              "pessimism is what quietly subsidizes the zone-rate optimism. Worst-case\n"
+              "admission trades a stream of capacity for restored headroom.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 9: admission-test accuracy for 6 Mb/s (MPEG2) streams,
+// 1..5 streams, with and without background disk load.
+//
+// Paper result (shape): higher-rate streams make the estimate much less
+// pessimistic — transfer time dominates the (exact) cost model — reaching
+// about 70% accuracy for loaded 6 Mb/s streams.
+
+#include <cstdio>
+
+#include "bench/admission_accuracy.h"
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  crstats::PrintBanner(
+      "Figure 9: admission accuracy, 6 Mb/s streams (actual/estimated I/O time, %)");
+  std::printf("interval 1.5s (admits 5 MPEG2 streams); load = two cat readers\n");
+  crstats::Table table(
+      {"streams", "noload_avg", "noload_max", "load_avg", "load_max", "intervals"});
+  table.SetCsv(csv);
+  for (int n = 1; n <= 5; ++n) {
+    crbench::AccuracyConfig config;
+    config.streams = n;
+    config.mpeg2 = true;
+    config.interval = crbase::MillisecondsF(1500);
+    config.load = false;
+    const crbench::AccuracyResult noload = crbench::MeasureAdmissionAccuracy(config);
+    config.load = true;
+    const crbench::AccuracyResult load = crbench::MeasureAdmissionAccuracy(config);
+    table.Cell(static_cast<std::int64_t>(n))
+        .Cell(noload.avg_ratio_pct, 1)
+        .Cell(noload.max_ratio_pct, 1)
+        .Cell(load.avg_ratio_pct, 1)
+        .Cell(load.max_ratio_pct, 1)
+        .Cell(static_cast<std::int64_t>(noload.intervals_measured));
+    table.EndRow();
+  }
+  table.Print();
+  std::printf("\nPaper: 6 Mb/s with load reaches ~70%% accuracy; far less pessimism than\n"
+              "the 1.5 Mb/s case because data transfer dominates the estimate.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 12: disk seek time vs cylinder distance — measured curve and the
+// linear approximation fitted from it (the paper's calibration of
+// T_seek_min / T_seek_max).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/disk/seek_model.h"
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  crsim::Engine engine;
+  crdisk::DiskDevice::Options device_options;
+  device_options.geometry = crdisk::St32550nGeometry();
+  crdisk::DiskDevice device(engine, device_options);
+  const std::int64_t cylinders = device.geometry().cylinders;
+
+  // Measure, as the authors did, seeks of increasing distance.
+  std::vector<crdisk::SeekSample> samples;
+  for (std::int64_t distance = 10; distance < cylinders; distance += 50) {
+    samples.push_back({distance, device.MeasureSeek(0, distance)});
+  }
+  samples.push_back({cylinders - 1, device.MeasureSeek(0, cylinders - 1)});
+  const crdisk::LinearSeekModel fit = crdisk::FitLinearSeekModel(samples, cylinders);
+
+  crstats::PrintBanner("Figure 12: seek time vs distance, ST32550N model (ms)");
+  crstats::Table table({"distance_cyl", "measured_ms", "linear_approx_ms"});
+  table.SetCsv(csv);
+  for (std::int64_t distance : {1, 5, 10, 25, 50, 100, 200, 400, 600, 900, 1200, 1600, 2000,
+                                2400, 2800, 3200, 3509}) {
+    table.Cell(distance)
+        .Cell(crbase::ToMilliseconds(device.MeasureSeek(0, distance)), 3)
+        .Cell(crbase::ToMilliseconds(fit.SeekTime(distance)), 3);
+    table.EndRow();
+  }
+  table.Print();
+  std::printf("\nlinear fit: T_seek_min = %.2f ms, T_seek_max = %.2f ms\n",
+              crbase::ToMilliseconds(fit.t_seek_min()), crbase::ToMilliseconds(fit.t_seek_max()));
+  std::printf("Paper (Table 4): T_seek_min = 4 ms, T_seek_max = 17 ms.\n");
+  return 0;
+}

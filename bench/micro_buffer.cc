@@ -1,0 +1,77 @@
+// Microbenchmarks: time-driven shared buffer operations — the crs_get data
+// path a client touches per frame.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/time_units.h"
+#include "src/core/time_driven_buffer.h"
+
+namespace {
+
+using crbase::Milliseconds;
+
+cras::BufferedChunk Chunk(std::int64_t i) {
+  cras::BufferedChunk c;
+  c.chunk_index = i;
+  c.timestamp = i * Milliseconds(33);
+  c.duration = Milliseconds(33);
+  c.size = 6250;
+  return c;
+}
+
+void BM_BufferPut(benchmark::State& state) {
+  cras::TimeDrivenBuffer buffer(1 << 22, Milliseconds(100));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    // Advancing logical time keeps the buffer in steady state: each put
+    // also reclaims aged-out chunks.
+    buffer.Put(Chunk(i), i * Milliseconds(33) - Milliseconds(500));
+    ++i;
+  }
+}
+BENCHMARK(BM_BufferPut);
+
+void BM_BufferGetHit(benchmark::State& state) {
+  cras::TimeDrivenBuffer buffer(1 << 22, Milliseconds(100));
+  for (std::int64_t i = 0; i < 64; ++i) {
+    buffer.Put(Chunk(i), 0);
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto chunk = buffer.Get((i % 64) * Milliseconds(33));
+    benchmark::DoNotOptimize(chunk);
+    ++i;
+  }
+}
+BENCHMARK(BM_BufferGetHit);
+
+void BM_BufferGetMiss(benchmark::State& state) {
+  cras::TimeDrivenBuffer buffer(1 << 22, Milliseconds(100));
+  for (std::int64_t i = 0; i < 64; ++i) {
+    buffer.Put(Chunk(i), 0);
+  }
+  for (auto _ : state) {
+    auto chunk = buffer.Get(crbase::Seconds(100));
+    benchmark::DoNotOptimize(chunk);
+  }
+}
+BENCHMARK(BM_BufferGetMiss);
+
+void BM_BufferDiscardSweep(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    cras::TimeDrivenBuffer buffer(1 << 30, Milliseconds(100));
+    for (std::int64_t i = 0; i < n; ++i) {
+      buffer.Put(Chunk(i), 0);
+    }
+    state.ResumeTiming();
+    buffer.DiscardObsolete(n * Milliseconds(33) + crbase::Seconds(1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BufferDiscardSweep)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

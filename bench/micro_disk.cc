@@ -1,0 +1,69 @@
+// Microbenchmarks: disk model and driver throughput in *wall* time — how
+// many simulated I/Os the harness processes per second.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/random.h"
+#include "src/disk/driver.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+void BM_DeviceServiceComputation(benchmark::State& state) {
+  crsim::Engine engine;
+  crdisk::DiskDevice::Options options;
+  options.geometry = crdisk::St32550nGeometry();
+  crdisk::DiskDevice device(engine, options);
+  crbase::Rng rng(1);
+  std::int64_t done = 0;
+  for (auto _ : state) {
+    crdisk::DiskRequest req;
+    req.lba = static_cast<crdisk::Lba>(
+        rng.NextBelow(static_cast<std::uint64_t>(device.geometry().total_sectors() - 64)));
+    req.sectors = 64;
+    req.on_complete = [&done](const crdisk::DiskCompletion&) { ++done; };
+    device.StartIo(req, 1, engine.Now());
+    engine.Run();
+  }
+  benchmark::DoNotOptimize(done);
+}
+BENCHMARK(BM_DeviceServiceComputation);
+
+void BM_DriverQueue100Scattered(benchmark::State& state) {
+  for (auto _ : state) {
+    crsim::Engine engine;
+    crdisk::DiskDevice::Options options;
+    options.geometry = crdisk::St32550nGeometry();
+    crdisk::DiskDevice device(engine, options);
+    crdisk::DiskDriver driver(engine, device);
+    crbase::Rng rng(2);
+    std::int64_t done = 0;
+    for (int i = 0; i < 100; ++i) {
+      crdisk::DiskRequest req;
+      req.lba = static_cast<crdisk::Lba>(
+          rng.NextBelow(static_cast<std::uint64_t>(device.geometry().total_sectors() - 64)));
+      req.sectors = 64;
+      req.realtime = (i % 2) == 0;
+      req.on_complete = [&done](const crdisk::DiskCompletion&) { ++done; };
+      driver.Submit(std::move(req));
+    }
+    engine.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_DriverQueue100Scattered);
+
+void BM_SeekModel(benchmark::State& state) {
+  crdisk::PhysicalSeekModel model;
+  std::int64_t distance = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SeekTime(distance));
+    distance = (distance * 7 + 1) % 3510;
+  }
+}
+BENCHMARK(BM_SeekModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

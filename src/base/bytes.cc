@@ -1,0 +1,23 @@
+#include "src/base/bytes.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crbase {
+
+std::string FormatBytes(std::int64_t bytes) {
+  char buf[64];
+  const std::int64_t abs_b = bytes < 0 ? -bytes : bytes;
+  if (abs_b >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", static_cast<double>(bytes) / kGiB);
+  } else if (abs_b >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", static_cast<double>(bytes) / kMiB);
+  } else if (abs_b >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace crbase

@@ -1,0 +1,37 @@
+// Byte-size constants and rate conversions.
+
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time_units.h"
+
+namespace crbase {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+// The paper quotes stream rates in megabits per second (MPEG1 = 1.5 Mb/s,
+// MPEG2 = 6 Mb/s) and disk bandwidth in megabytes per second.
+constexpr double MbpsToBytesPerSec(double mbps) { return mbps * 1e6 / 8.0; }
+constexpr double BytesPerSecToMbps(double bps) { return bps * 8.0 / 1e6; }
+
+// Bytes transferred in `d` at `bytes_per_sec`.
+constexpr std::int64_t BytesInDuration(double bytes_per_sec, Duration d) {
+  return static_cast<std::int64_t>(bytes_per_sec * ToSeconds(d));
+}
+
+// Time to transfer `bytes` at `bytes_per_sec`.
+constexpr Duration TransferTime(std::int64_t bytes, double bytes_per_sec) {
+  return SecondsF(static_cast<double>(bytes) / bytes_per_sec);
+}
+
+// Renders e.g. "256.0KiB", "1.50MiB".
+std::string FormatBytes(std::int64_t bytes);
+
+}  // namespace crbase
+
+#endif  // SRC_BASE_BYTES_H_

@@ -1,0 +1,73 @@
+// Minimal leveled logging and CHECK macros.
+//
+// Logging is deliberately tiny: benches and tests depend on deterministic
+// stdout tables, so diagnostic output goes to stderr and is off below
+// kWarning by default.
+
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crbase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Global threshold; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the message; aborts on kFatal
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows a log statement whose level is below threshold without
+// evaluating the streamed expressions' insertion.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+}  // namespace crbase
+
+#define CRAS_LOG_ENABLED(level) \
+  (::crbase::LogLevel::level >= ::crbase::GetLogLevel())
+
+#define CRAS_LOG(level)                                                           \
+  !CRAS_LOG_ENABLED(level)                                                        \
+      ? (void)0                                                                   \
+      : ::crbase::log_internal::Voidify() &                                       \
+            ::crbase::log_internal::LogMessage(::crbase::LogLevel::level,         \
+                                               __FILE__, __LINE__)                \
+                .stream()
+
+// Invariant checks. CHECK is always on: simulator invariants are cheap and a
+// silent corruption would invalidate every measurement downstream.
+#define CRAS_CHECK(cond)                                                          \
+  (cond) ? (void)0                                                                \
+         : ::crbase::log_internal::Voidify() &                                    \
+               ::crbase::log_internal::LogMessage(::crbase::LogLevel::kFatal,     \
+                                                  __FILE__, __LINE__)             \
+                   .stream()                                                      \
+               << "CHECK failed: " #cond " "
+
+#define CRAS_CHECK_OK(expr)                                                       \
+  do {                                                                            \
+    const auto& _st = (expr);                                                     \
+    CRAS_CHECK(_st.ok()) << _st.ToString();                                       \
+  } while (0)
+
+#endif  // SRC_BASE_LOGGING_H_

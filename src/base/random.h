@@ -1,0 +1,61 @@
+// Deterministic pseudo-random utilities for workload generation.
+//
+// Every stochastic element of an experiment takes an explicit seed so that
+// each figure is exactly reproducible run to run.
+
+#ifndef SRC_BASE_RANDOM_H_
+#define SRC_BASE_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace crbase {
+
+// splitmix64: tiny, fast, and statistically solid for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Log-normal with the given *linear-space* mean and coefficient of
+  // variation; used for JPEG/MPEG-like variable frame sizes.
+  double NextLogNormal(double mean, double cv) {
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * NextGaussian());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace crbase
+
+#endif  // SRC_BASE_RANDOM_H_

@@ -1,0 +1,115 @@
+// Lightweight status / result types.
+//
+// The simulator and the CRAS server report recoverable failures (admission
+// rejection, missing files, out-of-space, ...) through Status and Result<T>
+// rather than exceptions, following common practice in OS-level C++.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace crbase {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // no such file / stream / object
+  kAlreadyExists,     // name collision on create
+  kInvalidArgument,   // malformed request parameters
+  kResourceExhausted, // admission test failed, disk full, buffer budget spent
+  kFailedPrecondition,// operation not valid in the current state
+  kOutOfRange,        // offset past EOF, bad block index
+  kUnimplemented,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value with an optional human-readable message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "RESOURCE_EXHAUSTED: admission test failed".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFoundError(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+inline Status AlreadyExistsError(std::string m) {
+  return Status(StatusCode::kAlreadyExists, std::move(m));
+}
+inline Status InvalidArgumentError(std::string m) {
+  return Status(StatusCode::kInvalidArgument, std::move(m));
+}
+inline Status ResourceExhaustedError(std::string m) {
+  return Status(StatusCode::kResourceExhausted, std::move(m));
+}
+inline Status FailedPreconditionError(std::string m) {
+  return Status(StatusCode::kFailedPrecondition, std::move(m));
+}
+inline Status OutOfRangeError(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status InternalError(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+inline Status UnimplementedError(std::string m) {
+  return Status(StatusCode::kUnimplemented, std::move(m));
+}
+
+// A value of type T, or a non-OK Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {}          // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace crbase
+
+// Propagates a non-OK Status from an expression. Usable in functions
+// returning Status.
+#define CRAS_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::crbase::Status _st = (expr);        \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,23 @@
+#include "src/base/time_units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace crbase {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (abs_d >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMilliseconds(d));
+  } else if (abs_d >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicroseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace crbase

@@ -1,0 +1,618 @@
+#include "src/core/cras.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace cras {
+
+namespace {
+
+// Scales a duration by the session's rate factor.
+crbase::Duration ScaleDuration(crbase::Duration d, double factor) {
+  return static_cast<crbase::Duration>(static_cast<double>(d) * factor);
+}
+
+}  // namespace
+
+CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs)
+    : CrasServer(kernel, driver, fs, Options{}) {}
+
+CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs,
+                       const Options& options)
+    : kernel_(&kernel),
+      driver_(&driver),
+      fs_(&fs),
+      options_(options),
+      admission_(options.disk_params, options.interval, options.max_read_bytes),
+      control_port_(kernel.engine()),
+      io_done_port_(kernel.engine()),
+      deadline_port_(kernel.engine()),
+      signal_port_(kernel.engine()) {
+  // The server wires its code and static state (~250 KB in the paper);
+  // buffers are wired as sessions open.
+  kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+}
+
+void CrasServer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  threads_.push_back(kernel_->Spawn("cras-request-manager", options_.priority,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return RequestManagerThread(ctx);
+                                    }));
+  threads_.push_back(kernel_->Spawn("cras-request-scheduler", options_.priority + 2,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return RequestSchedulerThread(ctx);
+                                    }));
+  threads_.push_back(kernel_->Spawn("cras-io-done-manager", options_.priority + 3,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return IoDoneManagerThread(ctx);
+                                    }));
+  threads_.push_back(kernel_->Spawn("cras-deadline-manager", options_.priority + 4,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return DeadlineManagerThread(ctx);
+                                    }));
+  threads_.push_back(kernel_->Spawn("cras-signal-handler", options_.priority + 1,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return SignalHandlerThread(ctx);
+                                    }));
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+crsim::Task CrasServer::RequestManagerThread(crrt::ThreadContext& ctx) {
+  for (;;) {
+    ControlMsg msg = co_await control_port_.Receive();
+    if (msg.kind == ControlMsg::kShutdown) {
+      break;
+    }
+    co_await ctx.Compute(options_.cpu_per_control_op);
+    crbase::Result<SessionId> result = kInvalidSession;
+    switch (msg.kind) {
+      case ControlMsg::kOpen:
+        result = HandleOpen(std::move(msg.params));
+        break;
+      case ControlMsg::kClose: {
+        crbase::Status st = HandleClose(msg.id);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kStart: {
+        crbase::Status st = HandleStart(msg.id, msg.initial_delay);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kStop: {
+        crbase::Status st = HandleStop(msg.id);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kSeek: {
+        crbase::Status st = HandleSeek(msg.id, msg.seek_to);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kSetRate: {
+        crbase::Status st = HandleSetRate(msg.id, msg.params.rate_factor);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kShutdown:
+        break;
+    }
+    if (msg.done) {
+      msg.done(std::move(result));
+    }
+  }
+}
+
+crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
+  crrt::PeriodicTimer timer(kernel_->engine(), options_.interval, &deadline_port_);
+  while (!shutdown_) {
+    const crrt::PeriodTick tick = co_await timer.NextPeriod();
+    if (shutdown_) {
+      break;
+    }
+    co_await ctx.Compute(options_.cpu_per_interval);
+
+    // Phase 1: publish everything retrieved during the previous interval
+    // into the time-driven shared buffers.
+    const std::int64_t published = PublishCompletedBatches();
+    if (published > 0) {
+      co_await ctx.Compute(options_.cpu_per_publish * published);
+    }
+
+    // Phase 2: issue all reads (and staged writes) the next interval needs.
+    const std::size_t slot = interval_records_.size();
+    IntervalRecord record;
+    record.index = tick.index;
+    record.scheduler_lateness = tick.lateness;
+    record.estimated_io = admission_.Evaluate(CurrentDemands()).io_time();
+    interval_records_.push_back(record);
+
+    const crbase::Time deadline = timer.BoundaryOf(tick.index + 1);
+    const std::int64_t requests = IssueIntervalIo(slot, deadline);
+    if (requests > 0) {
+      co_await ctx.Compute(options_.cpu_per_request * requests);
+    }
+  }
+}
+
+crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
+  for (;;) {
+    IoDoneMsg msg = co_await io_done_port_.Receive();
+    if (msg.batch_id == 0) {
+      break;  // shutdown sentinel
+    }
+    co_await ctx.Compute(options_.cpu_per_completion);
+    auto it = inflight_.find(msg.batch_id);
+    if (it == inflight_.end()) {
+      continue;  // batch of a session closed mid-flight
+    }
+    Batch& batch = it->second;
+    CRAS_CHECK(batch.outstanding > 0);
+    --batch.outstanding;
+    if (batch.interval_slot < interval_records_.size()) {
+      interval_records_[batch.interval_slot].actual_io += msg.completion.service_time();
+    }
+    if (batch.kind == SessionKind::kRead) {
+      stats_.bytes_read += msg.completion.bytes();
+    } else {
+      stats_.bytes_written += msg.completion.bytes();
+    }
+    if (batch.outstanding == 0) {
+      if (kernel_->Now() > batch.deadline) {
+        if (batch.interval_slot < interval_records_.size()) {
+          interval_records_[batch.interval_slot].completed_by_deadline = false;
+        }
+        // The interval's I/O did not land by its boundary: this is the
+        // deadline the deadline-manager thread watches over.
+        deadline_port_.Send(crrt::DeadlineMiss{
+            static_cast<std::int64_t>(batch.interval_slot), batch.deadline,
+            kernel_->Now() - batch.deadline});
+      }
+      completed_batches_.push_back(batch.id);
+    }
+  }
+}
+
+crsim::Task CrasServer::DeadlineManagerThread(crrt::ThreadContext& ctx) {
+  for (;;) {
+    crrt::DeadlineMiss miss = co_await deadline_port_.Receive();
+    if (miss.period_index < 0) {
+      break;  // shutdown sentinel
+    }
+    co_await ctx.Compute(options_.cpu_per_completion);
+    // The paper's recovery action: notify a warning and continue.
+    ++stats_.deadline_misses;
+    CRAS_LOG(kWarning) << "CRAS deadline miss: interval " << miss.period_index << " overran by "
+                       << crbase::FormatDuration(miss.overrun);
+  }
+}
+
+crsim::Task CrasServer::SignalHandlerThread(crrt::ThreadContext&) {
+  (void)co_await signal_port_.Receive();
+  shutdown_ = true;
+  // Wake every blocked sibling with its sentinel.
+  control_port_.Send(ControlMsg{ControlMsg::kShutdown, kInvalidSession, OpenParams{}, 0, 0,
+                                nullptr});
+  io_done_port_.Send(IoDoneMsg{0, {}});
+  deadline_port_.Send(crrt::DeadlineMiss{-1, 0, 0});
+}
+
+void CrasServer::SignalShutdown() { signal_port_.Send(1); }
+
+// ---------------------------------------------------------------------------
+// Request-manager operations
+// ---------------------------------------------------------------------------
+
+crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
+  if (params.index.empty()) {
+    ++stats_.sessions_rejected;
+    return crbase::InvalidArgumentError("empty chunk index");
+  }
+  if (params.rate_factor <= 0) {
+    ++stats_.sessions_rejected;
+    return crbase::InvalidArgumentError("rate factor must be positive");
+  }
+  const crufs::Inode& inode = fs_->inode(params.inode);
+  if (inode.size_bytes < params.index.total_bytes()) {
+    ++stats_.sessions_rejected;
+    return crbase::InvalidArgumentError("chunk index extends past the file");
+  }
+
+  StreamDemand demand;
+  demand.rate_bytes_per_sec =
+      (params.declared_rate > 0 ? params.declared_rate
+                                : params.index.WorstRate(options_.interval)) *
+      params.rate_factor;
+  demand.chunk_bytes = params.index.max_chunk_bytes();
+
+  // The admission test (§2.3): time and memory must both fit.
+  std::vector<StreamDemand> demands = CurrentDemands();
+  demands.push_back(demand);
+  if (!admission_.Admissible(demands, options_.memory_budget_bytes)) {
+    ++stats_.sessions_rejected;
+    return crbase::ResourceExhaustedError("admission test failed");
+  }
+
+  Session session;
+  session.id = next_session_id_++;
+  session.kind = params.kind;
+  session.inode = params.inode;
+  session.index = std::move(params.index);
+  session.demand = demand;
+  session.rate_factor = params.rate_factor;
+  const std::int64_t buffer_bytes = admission_.BufferBytes(demand);
+  session.buffer =
+      std::make_unique<TimeDrivenBuffer>(buffer_bytes, options_.jitter_allowance);
+  session.clock = std::make_unique<LogicalClock>(kernel_->engine());
+  session.clock->SetRate(params.rate_factor);
+
+  buffer_bytes_reserved_ += buffer_bytes;
+  kernel_->WireMemory("cras-buffer", buffer_bytes);
+  ++stats_.sessions_opened;
+  const SessionId id = session.id;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+crbase::Status CrasServer::HandleClose(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return crbase::NotFoundError("no such session");
+  }
+  const std::int64_t buffer_bytes = it->second.buffer->capacity_bytes();
+  buffer_bytes_reserved_ -= buffer_bytes;
+  kernel_->UnwireMemory("cras-buffer", buffer_bytes);
+  // In-flight batches for this session are dropped when they complete.
+  for (auto& [batch_id, batch] : inflight_) {
+    if (batch.session == id) {
+      batch.session = kInvalidSession;
+    }
+  }
+  sessions_.erase(it);
+  return crbase::OkStatus();
+}
+
+crbase::Status CrasServer::HandleStart(SessionId id, crbase::Duration initial_delay) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  if (initial_delay < 0) {
+    return crbase::InvalidArgumentError("negative initial delay");
+  }
+  session->started = true;
+  session->clock->Start(initial_delay);
+  return crbase::OkStatus();
+}
+
+crbase::Status CrasServer::HandleStop(SessionId id) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  session->started = false;
+  session->clock->Stop();
+  return crbase::OkStatus();
+}
+
+crbase::Status CrasServer::HandleSeek(SessionId id, crbase::Time logical) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  if (session->kind != SessionKind::kRead) {
+    return crbase::FailedPreconditionError("seek on a write session");
+  }
+  std::int64_t chunk = session->index.FindByTime(logical);
+  if (chunk < 0) {
+    chunk = 0;
+  }
+  session->clock->SeekTo(logical);
+  session->buffer->Clear();
+  session->next_chunk = chunk;
+  session->prefetch_pos = session->index.at(static_cast<std::size_t>(chunk)).timestamp;
+  return crbase::OkStatus();
+}
+
+crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  if (rate_factor <= 0) {
+    return crbase::InvalidArgumentError("rate factor must be positive");
+  }
+  if (session->kind != SessionKind::kRead) {
+    return crbase::FailedPreconditionError("rate change on a write session");
+  }
+  // Re-run admission with this session's demand scaled to the new factor.
+  StreamDemand new_demand = session->demand;
+  new_demand.rate_bytes_per_sec =
+      new_demand.rate_bytes_per_sec / session->rate_factor * rate_factor;
+  std::vector<StreamDemand> demands;
+  demands.reserve(sessions_.size());
+  for (const auto& [other_id, other] : sessions_) {
+    demands.push_back(other_id == id ? new_demand : other.demand);
+  }
+  if (!admission_.Admissible(demands, options_.memory_budget_bytes)) {
+    return crbase::ResourceExhaustedError("admission test failed at the new rate");
+  }
+  // Re-reserve the buffer at the new B_i. Resident data stays valid (the
+  // buffer object is preserved; only the accounting and cap change through
+  // a new buffer would lose data, so we keep the larger of the two caps in
+  // the object and track the reservation delta).
+  const std::int64_t new_buffer_bytes = admission_.BufferBytes(new_demand);
+  const std::int64_t old_buffer_bytes = session->buffer->capacity_bytes();
+  if (new_buffer_bytes > old_buffer_bytes) {
+    kernel_->WireMemory("cras-buffer", new_buffer_bytes - old_buffer_bytes);
+    buffer_bytes_reserved_ += new_buffer_bytes - old_buffer_bytes;
+    auto grown = std::make_unique<TimeDrivenBuffer>(new_buffer_bytes,
+                                                    options_.jitter_allowance);
+    // Carry resident chunks across.
+    const crbase::Time logical_now = session->clock->Now();
+    for (crbase::Time t = logical_now - options_.jitter_allowance;; ) {
+      std::optional<BufferedChunk> chunk = session->buffer->Get(t);
+      if (!chunk.has_value()) {
+        break;
+      }
+      grown->Put(*chunk, logical_now);
+      t = chunk->timestamp + chunk->duration;
+    }
+    session->buffer = std::move(grown);
+  }
+  session->demand = new_demand;
+  session->rate_factor = rate_factor;
+  session->clock->SetRate(rate_factor);
+  return crbase::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler phases
+// ---------------------------------------------------------------------------
+
+std::int64_t CrasServer::PublishCompletedBatches() {
+  std::int64_t published = 0;
+  while (!completed_batches_.empty()) {
+    const std::uint64_t batch_id = completed_batches_.front();
+    completed_batches_.pop_front();
+    auto it = inflight_.find(batch_id);
+    if (it == inflight_.end()) {
+      continue;
+    }
+    Batch batch = it->second;
+    inflight_.erase(it);
+    Session* session = FindSession(batch.session);
+    if (session == nullptr) {
+      continue;  // closed while the I/O was in flight
+    }
+    const crbase::Time now = kernel_->Now();
+    if (now > batch.deadline) {
+      session->stats.max_publish_lag =
+          std::max(session->stats.max_publish_lag, now - batch.deadline);
+    }
+    if (batch.kind == SessionKind::kWrite) {
+      session->stats.chunks_written += batch.last_chunk - batch.first_chunk;
+      session->stats.bytes_written += batch.bytes;
+      continue;
+    }
+    const crbase::Time logical_now = session->clock->Now();
+    for (std::int64_t c = batch.first_chunk; c < batch.last_chunk; ++c) {
+      const crmedia::Chunk& chunk = session->index.at(static_cast<std::size_t>(c));
+      BufferedChunk buffered;
+      buffered.chunk_index = c;
+      buffered.timestamp = chunk.timestamp;
+      buffered.duration = chunk.duration;
+      buffered.size = chunk.size;
+      buffered.filled_at = now;
+      session->buffer->Put(buffered, logical_now);
+      ++session->stats.chunks_published;
+      session->stats.bytes_published += chunk.size;
+      ++published;
+    }
+  }
+  return published;
+}
+
+std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time deadline) {
+  struct Planned {
+    std::uint64_t batch_id;
+    crdisk::DiskRequest request;
+    std::int64_t cylinder;
+  };
+  std::vector<Planned> planned;
+
+  auto plan_range = [&](Session& session, std::int64_t first, std::int64_t last,
+                        SessionKind kind) {
+    if (first >= last) {
+      return;
+    }
+    const crmedia::Chunk& head = session.index.at(static_cast<std::size_t>(first));
+    const crmedia::Chunk& tail = session.index.at(static_cast<std::size_t>(last - 1));
+    const std::int64_t offset = head.offset;
+    const std::int64_t length = tail.offset + tail.size - offset;
+    auto extents = fs_->GetExtents(session.inode, offset, length, options_.max_read_bytes);
+    CRAS_CHECK(extents.ok()) << extents.status().ToString();
+
+    Batch batch;
+    batch.id = next_batch_id_++;
+    batch.session = session.id;
+    batch.first_chunk = first;
+    batch.last_chunk = last;
+    batch.kind = kind;
+    batch.outstanding = static_cast<int>(extents->size());
+    batch.interval_slot = interval_slot;
+    batch.deadline = deadline;
+    for (const crufs::Extent& extent : *extents) {
+      batch.bytes += extent.bytes();
+      crdisk::DiskRequest request;
+      request.kind = kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
+      request.lba = extent.lba;
+      request.sectors = extent.sectors;
+      request.realtime = true;
+      const std::uint64_t batch_id = batch.id;
+      request.on_complete = [this, batch_id](const crdisk::DiskCompletion& completion) {
+        io_done_port_.Send(IoDoneMsg{batch_id, completion});
+      };
+      planned.push_back(Planned{batch.id,
+                                std::move(request),
+                                driver_->device().geometry().CylinderOf(extent.lba)});
+    }
+    if (batch.outstanding == 0) {
+      return;  // zero-length range
+    }
+    interval_records_[interval_slot].bytes += batch.bytes;
+    inflight_.emplace(batch.id, batch);
+  };
+
+  for (auto& [id, session] : sessions_) {
+    if (!session.started) {
+      continue;
+    }
+    if (session.kind == SessionKind::kRead) {
+      const crbase::Duration advance = ScaleDuration(options_.interval, session.rate_factor);
+      // "CRAS schedules pre-fetches according to the logical rate": stay at
+      // most two interval-windows ahead of the logical clock — exactly the
+      // double-buffered depth B_i was sized for. A client that allowed a
+      // longer initial delay (clock still deeply negative) simply causes
+      // prefetching to idle until the pipeline is needed, instead of
+      // overrunning its own buffer. After a rate increase the pipeline may
+      // lag the accelerated clock; issue up to a few windows in one
+      // interval to re-prime it (bounded burst so one session cannot
+      // monopolize an interval).
+      const std::int64_t count = static_cast<std::int64_t>(session.index.count());
+      for (int window = 0; window < 4; ++window) {
+        if (session.prefetch_pos > session.clock->Now() + 2 * advance) {
+          break;
+        }
+        const crbase::Time window_end = session.prefetch_pos + advance;
+        std::int64_t last = session.next_chunk;
+        while (last < count &&
+               session.index.at(static_cast<std::size_t>(last)).timestamp < window_end) {
+          ++last;
+        }
+        plan_range(session, session.next_chunk, last, SessionKind::kRead);
+        session.next_chunk = last;
+        session.prefetch_pos = window_end;
+      }
+    } else {
+      // Write session: stage up to one interval's admitted bytes from the
+      // produced-chunk queue, in maximal consecutive runs.
+      std::int64_t budget = admission_.BytesPerInterval(session.demand);
+      while (!session.write_queue.empty() && budget > 0) {
+        const std::int64_t first = session.write_queue.front();
+        std::int64_t last = first;
+        std::int64_t run_bytes = 0;
+        while (!session.write_queue.empty() && session.write_queue.front() == last &&
+               run_bytes <= budget) {
+          run_bytes += session.index.at(static_cast<std::size_t>(last)).size;
+          session.write_queue.pop_front();
+          ++last;
+        }
+        plan_range(session, first, last, SessionKind::kWrite);
+        budget -= run_bytes;
+      }
+    }
+  }
+
+  // The paper: "making all the read requests to disks in cylinder order to
+  // minimize the seek time."
+  if (options_.sort_requests_by_cylinder) {
+    std::sort(planned.begin(), planned.end(),
+              [](const Planned& a, const Planned& b) { return a.cylinder < b.cylinder; });
+  }
+  for (Planned& p : planned) {
+    if (p.request.kind == crdisk::IoKind::kRead) {
+      ++stats_.read_requests;
+    } else {
+      ++stats_.write_requests;
+    }
+    driver_->Submit(std::move(p.request));
+  }
+  const std::int64_t issued = static_cast<std::int64_t>(planned.size());
+  interval_records_[interval_slot].requests += issued;
+  return issued;
+}
+
+// ---------------------------------------------------------------------------
+// Data path and introspection
+// ---------------------------------------------------------------------------
+
+std::optional<BufferedChunk> CrasServer::Get(SessionId id, crbase::Time logical) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return std::nullopt;
+  }
+  // The time-driven sweep: data behind the logical clock ages out on every
+  // buffer touch, with no server round trip.
+  session->buffer->DiscardObsolete(session->clock->Now());
+  return session->buffer->Get(logical);
+}
+
+crbase::Time CrasServer::LogicalNow(SessionId id) const {
+  const Session* session = FindSession(id);
+  if (session == nullptr) {
+    return 0;
+  }
+  return session->clock->Now();
+}
+
+crbase::Status CrasServer::PutChunk(SessionId id, std::int64_t chunk) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  if (session->kind != SessionKind::kWrite) {
+    return crbase::FailedPreconditionError("PutChunk on a read session");
+  }
+  if (chunk < 0 || chunk >= static_cast<std::int64_t>(session->index.count())) {
+    return crbase::OutOfRangeError("chunk index out of range");
+  }
+  session->write_queue.push_back(chunk);
+  return crbase::OkStatus();
+}
+
+crbase::Result<SessionStats> CrasServer::GetSessionStats(SessionId id) const {
+  const Session* session = FindSession(id);
+  if (session == nullptr) {
+    return crbase::NotFoundError("no such session");
+  }
+  return session->stats;
+}
+
+const TimeDrivenBufferStats* CrasServer::GetBufferStats(SessionId id) const {
+  const Session* session = FindSession(id);
+  if (session == nullptr) {
+    return nullptr;
+  }
+  return &session->buffer->stats();
+}
+
+CrasServer::Session* CrasServer::FindSession(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const CrasServer::Session* CrasServer::FindSession(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+std::vector<StreamDemand> CrasServer::CurrentDemands() const {
+  std::vector<StreamDemand> demands;
+  demands.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    demands.push_back(session.demand);
+  }
+  return demands;
+}
+
+}  // namespace cras

@@ -1,0 +1,326 @@
+// CRAS — the Constant Rate Access Server (§2).
+//
+// A user-level continuous-media storage server providing exactly one
+// service: retrieving streams from disk at a constant rate. Its structure
+// follows Figure 3 of the paper:
+//
+//   request manager   — accepts open/close/start/stop/seek, runs the
+//                       admission test, owns the session table;
+//   request scheduler — periodic with period T (the *interval time*); at
+//                       each boundary it (1) publishes the data retrieved
+//                       during the previous interval into the time-driven
+//                       shared buffers and (2) issues, in cylinder order,
+//                       every disk read the next interval needs, coalescing
+//                       contiguous blocks up to 256 KiB per request;
+//   I/O-done manager  — receives completion notifications from the driver
+//                       and queues them for the scheduler;
+//   deadline manager  — consumes deadline-miss notifications (CRAS logs a
+//                       warning and carries on);
+//   signal handler    — odd jobs: stat dumps and shutdown.
+//
+// All requests go to the driver's real-time queue. Memory is wired: the
+// server never touches a pageable byte or a non-real-time OS service during
+// retrieval.
+//
+// Extension (paper §4, built here): constant-rate *write* sessions over
+// contiguously preallocated files, staged through the same interval
+// scheduler and admission formulas.
+
+#ifndef SRC_CORE_CRAS_H_
+#define SRC_CORE_CRAS_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/core/admission.h"
+#include "src/core/logical_clock.h"
+#include "src/core/time_driven_buffer.h"
+#include "src/disk/driver.h"
+#include "src/media/chunk_index.h"
+#include "src/rtmach/kernel.h"
+#include "src/rtmach/periodic.h"
+#include "src/sim/port.h"
+#include "src/sim/task.h"
+#include "src/ufs/ufs.h"
+
+namespace cras {
+
+using SessionId = std::int64_t;
+inline constexpr SessionId kInvalidSession = -1;
+
+enum class SessionKind {
+  kRead,   // constant-rate retrieval (the paper's only mode)
+  kWrite,  // constant-rate recording (the paper's §4 extension)
+};
+
+// crs_open parameters. The client supplies the control-file contents (chunk
+// timestamps/durations/sizes) and the worst-case data rate CRAS must
+// reserve.
+struct OpenParams {
+  crufs::InodeNumber inode = crufs::kInvalidInode;
+  crmedia::ChunkIndex index;
+  // R_i. Zero means "derive from the index": its worst-case rate over one
+  // interval window.
+  double declared_rate = 0;
+  SessionKind kind = SessionKind::kRead;
+  // Clock/prefetch rate factor (1.0 = recorded rate; 2.0 = the paper's
+  // fast-forward example, which retrieves *every* frame at double speed).
+  double rate_factor = 1.0;
+};
+
+struct SessionStats {
+  std::int64_t chunks_published = 0;  // placed into the shared buffer
+  std::int64_t bytes_published = 0;
+  std::int64_t chunks_written = 0;    // write sessions
+  std::int64_t bytes_written = 0;
+  crbase::Duration max_publish_lag = 0;  // completion-to-boundary worst case
+};
+
+// One row per elapsed interval: what the scheduler issued and what it cost.
+// Figures 8-9 are the ratio actual_io/estimated_io.
+struct IntervalRecord {
+  std::int64_t index = 0;
+  std::int64_t requests = 0;
+  std::int64_t bytes = 0;
+  crbase::Duration estimated_io = 0;  // admission model, issued set
+  crbase::Duration actual_io = 0;     // measured device time of those requests
+  crbase::Duration scheduler_lateness = 0;
+  bool completed_by_deadline = true;  // all I/O landed before the next boundary
+};
+
+struct ServerStats {
+  std::int64_t sessions_opened = 0;
+  std::int64_t sessions_rejected = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t read_requests = 0;
+  std::int64_t write_requests = 0;
+};
+
+class CrasServer {
+ public:
+  struct Options {
+    crbase::Duration interval = crbase::Milliseconds(500);
+    std::int64_t max_read_bytes = 256 * crbase::kKiB;
+    // Wired-buffer budget for all time-driven buffers (B_total bound). The
+    // paper's server wires ~250 KB of code/state plus the buffer space.
+    std::int64_t memory_budget_bytes = 12 * crbase::kMiB;
+    crbase::Duration jitter_allowance = crbase::Milliseconds(100);
+    DiskParams disk_params;
+    // CPU charges, modelling the server's execution on the paper's hardware.
+    crbase::Duration cpu_per_control_op = crbase::Microseconds(300);
+    crbase::Duration cpu_per_interval = crbase::Microseconds(200);
+    crbase::Duration cpu_per_request = crbase::Microseconds(60);
+    crbase::Duration cpu_per_completion = crbase::Microseconds(30);
+    crbase::Duration cpu_per_publish = crbase::Microseconds(5);
+    int priority = crrt::kPriorityServer;
+    // "Making all the read requests to disks in cylinder order to minimize
+    // the seek time" (§2.2). Off only for the A2 ablation.
+    bool sort_requests_by_cylinder = true;
+  };
+
+  CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs);
+  CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs,
+             const Options& options);
+  CrasServer(const CrasServer&) = delete;
+  CrasServer& operator=(const CrasServer&) = delete;
+
+  // Spawns the five server threads (idempotent).
+  void Start();
+
+  // Initial playback latency a client should allow: data scheduled in the
+  // interval after crs_start becomes visible two boundaries later.
+  crbase::Duration SuggestedInitialDelay() const { return 2 * options_.interval; }
+
+  // ---- control interface (crs_open/close/start/stop/seek; Table 2) ----
+  // Each is a coroutine awaitable resolving when the request manager has
+  // processed the request:  `auto r = co_await server.Open(params);`
+
+  auto Open(OpenParams params) {
+    return ControlAwaiter<crbase::Result<SessionId>>{
+        this, ControlMsg{ControlMsg::kOpen, kInvalidSession, std::move(params), 0, 0, nullptr}};
+  }
+  auto Close(SessionId id) {
+    return ControlAwaiter<crbase::Status>{
+        this, ControlMsg{ControlMsg::kClose, id, OpenParams{}, 0, 0, nullptr}};
+  }
+  // Starts prefetching and the logical clock; logical zero is reached after
+  // `initial_delay` (use SuggestedInitialDelay()).
+  auto StartStream(SessionId id, crbase::Duration initial_delay) {
+    return ControlAwaiter<crbase::Status>{
+        this, ControlMsg{ControlMsg::kStart, id, OpenParams{}, initial_delay, 0, nullptr}};
+  }
+  auto StopStream(SessionId id) {
+    return ControlAwaiter<crbase::Status>{
+        this, ControlMsg{ControlMsg::kStop, id, OpenParams{}, 0, 0, nullptr}};
+  }
+  auto Seek(SessionId id, crbase::Time logical) {
+    return ControlAwaiter<crbase::Status>{
+        this, ControlMsg{ControlMsg::kSeek, id, OpenParams{}, 0, logical, nullptr}};
+  }
+  // Changes the retrieval/clock rate factor mid-session (fast-forward or
+  // return to normal speed). Re-runs the admission test at the new rate:
+  // speeding up can be refused with RESOURCE_EXHAUSTED, in which case the
+  // session continues unchanged. Buffer reservation is adjusted to the new
+  // B_i.
+  auto SetRate(SessionId id, double rate_factor) {
+    ControlMsg msg{ControlMsg::kSetRate, id, OpenParams{}, 0, 0, nullptr};
+    msg.params.rate_factor = rate_factor;
+    return ControlAwaiter<crbase::Status>{this, std::move(msg)};
+  }
+
+  // ---- data interface (crs_get) ----
+  // Direct shared-buffer access; no IPC, exactly as in the paper.
+  std::optional<BufferedChunk> Get(SessionId id, crbase::Time logical);
+  crbase::Time LogicalNow(SessionId id) const;
+
+  // Write-session data path: the client marks `chunk` of the session's
+  // index as produced (resident in the shared buffer, ready to hit disk).
+  crbase::Status PutChunk(SessionId id, std::int64_t chunk);
+
+  // ---- introspection ----
+  const Options& options() const { return options_; }
+  const AdmissionModel& admission() const { return admission_; }
+  const ServerStats& stats() const { return stats_; }
+  const std::vector<IntervalRecord>& interval_records() const { return interval_records_; }
+  std::int64_t buffer_bytes_reserved() const { return buffer_bytes_reserved_; }
+  std::size_t open_sessions() const { return sessions_.size(); }
+  crbase::Result<SessionStats> GetSessionStats(SessionId id) const;
+  const TimeDrivenBufferStats* GetBufferStats(SessionId id) const;
+
+  // Asks the signal-handler thread to shut the server down; threads drain
+  // and exit at the next opportunity.
+  void SignalShutdown();
+
+ private:
+  struct ControlMsg {
+    enum Kind { kOpen, kClose, kStart, kStop, kSeek, kSetRate, kShutdown } kind = kShutdown;
+    SessionId id = kInvalidSession;
+    OpenParams params;
+    crbase::Duration initial_delay = 0;
+    crbase::Time seek_to = 0;
+    std::function<void(crbase::Result<SessionId>)> done;
+  };
+
+  template <typename R>
+  struct ControlAwaiter {
+    CrasServer* server;
+    ControlMsg msg;
+    crbase::Result<SessionId> raw = kInvalidSession;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      msg.done = [this, h](crbase::Result<SessionId> r) {
+        raw = std::move(r);
+        h.resume();
+      };
+      server->control_port_.Send(std::move(msg));
+    }
+    R await_resume() {
+      if constexpr (std::is_same_v<R, crbase::Status>) {
+        return raw.status();
+      } else {
+        return std::move(raw);
+      }
+    }
+  };
+
+  struct Session {
+    SessionId id = kInvalidSession;
+    SessionKind kind = SessionKind::kRead;
+    crufs::InodeNumber inode = crufs::kInvalidInode;
+    crmedia::ChunkIndex index;
+    StreamDemand demand;
+    double rate_factor = 1.0;
+    std::unique_ptr<TimeDrivenBuffer> buffer;
+    std::unique_ptr<LogicalClock> clock;
+    bool started = false;
+    crbase::Time prefetch_pos = 0;   // logical time of the next window
+    std::int64_t next_chunk = 0;     // first chunk not yet scheduled
+    std::deque<std::int64_t> write_queue;  // produced, not yet written
+    SessionStats stats;
+  };
+
+  struct Batch {
+    std::uint64_t id = 0;
+    SessionId session = kInvalidSession;
+    std::int64_t first_chunk = 0;
+    std::int64_t last_chunk = 0;  // exclusive
+    SessionKind kind = SessionKind::kRead;
+    int outstanding = 0;
+    std::int64_t bytes = 0;
+    std::size_t interval_slot = 0;  // index into interval_records_
+    crbase::Time deadline = 0;      // next boundary after issue
+  };
+
+  struct IoDoneMsg {
+    std::uint64_t batch_id = 0;
+    crdisk::DiskCompletion completion;
+  };
+
+  // Thread bodies.
+  crsim::Task RequestManagerThread(crrt::ThreadContext& ctx);
+  crsim::Task RequestSchedulerThread(crrt::ThreadContext& ctx);
+  crsim::Task IoDoneManagerThread(crrt::ThreadContext& ctx);
+  crsim::Task DeadlineManagerThread(crrt::ThreadContext& ctx);
+  crsim::Task SignalHandlerThread(crrt::ThreadContext& ctx);
+
+  // Request-manager operations.
+  crbase::Result<SessionId> HandleOpen(OpenParams params);
+  crbase::Status HandleClose(SessionId id);
+  crbase::Status HandleStart(SessionId id, crbase::Duration initial_delay);
+  crbase::Status HandleStop(SessionId id);
+  crbase::Status HandleSeek(SessionId id, crbase::Time logical);
+  crbase::Status HandleSetRate(SessionId id, double rate_factor);
+
+  // Scheduler phases.
+  // Returns the number of chunks published.
+  std::int64_t PublishCompletedBatches();
+  // Collects this interval's disk work; returns the number of requests
+  // issued (after cylinder-order sorting).
+  std::int64_t IssueIntervalIo(std::size_t interval_slot, crbase::Time deadline);
+
+  Session* FindSession(SessionId id);
+  const Session* FindSession(SessionId id) const;
+  std::vector<StreamDemand> CurrentDemands() const;
+
+  crrt::Kernel* kernel_;
+  crdisk::DiskDriver* driver_;
+  crufs::Ufs* fs_;
+  Options options_;
+  AdmissionModel admission_;
+
+  crsim::Port<ControlMsg> control_port_;
+  crsim::Port<IoDoneMsg> io_done_port_;
+  crsim::Port<crrt::DeadlineMiss> deadline_port_;
+  crsim::Port<int> signal_port_;
+
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_id_ = 1;
+  std::int64_t buffer_bytes_reserved_ = 0;
+
+  std::map<std::uint64_t, Batch> inflight_;
+  std::deque<std::uint64_t> completed_batches_;
+  std::uint64_t next_batch_id_ = 1;
+
+  std::vector<IntervalRecord> interval_records_;
+  ServerStats stats_;
+
+  std::vector<crsim::Task> threads_;
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace cras
+
+#endif  // SRC_CORE_CRAS_H_

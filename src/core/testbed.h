@@ -1,0 +1,60 @@
+// A fully wired simulated machine: the paper's Gateway2000 P5-100 with one
+// ST32550N disk, Real-Time Mach, the Unix server, and a CRAS server.
+//
+// Used by integration tests, benches, and examples so every experiment runs
+// on an identical rig.
+
+#ifndef SRC_CORE_TESTBED_H_
+#define SRC_CORE_TESTBED_H_
+
+#include <memory>
+
+#include "src/core/cras.h"
+#include "src/disk/device.h"
+#include "src/disk/driver.h"
+#include "src/rtmach/kernel.h"
+#include "src/ufs/unix_server.h"
+
+namespace cras {
+
+struct TestbedOptions {
+  crrt::Kernel::Options kernel;
+  crdisk::DiskDevice::Options device;
+  crdisk::DiskDriver::Options driver;
+  crufs::Ufs::Options ufs;
+  crufs::UnixServer::Options unix_server;
+  CrasServer::Options cras;
+};
+
+class Testbed {
+ public:
+  Testbed() : Testbed(TestbedOptions{}) {}
+
+  explicit Testbed(const TestbedOptions& options)
+      : kernel(options.kernel),
+        device(kernel.engine(), options.device),
+        driver(kernel.engine(), device, options.driver),
+        fs(options.ufs),
+        unix_server(kernel, driver, fs, options.unix_server),
+        cras_server(kernel, driver, fs, options.cras) {}
+
+  // Starts both servers.
+  void StartServers() {
+    unix_server.Start();
+    cras_server.Start();
+  }
+
+  crsim::Engine& engine() { return kernel.engine(); }
+  crbase::Time Now() const { return kernel.Now(); }
+
+  crrt::Kernel kernel;
+  crdisk::DiskDevice device;
+  crdisk::DiskDriver driver;
+  crufs::Ufs fs;
+  crufs::UnixServer unix_server;
+  CrasServer cras_server;
+};
+
+}  // namespace cras
+
+#endif  // SRC_CORE_TESTBED_H_

@@ -1,0 +1,81 @@
+#include "src/core/time_driven_buffer.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace cras {
+
+TimeDrivenBuffer::TimeDrivenBuffer(std::int64_t capacity_bytes, Duration jitter_allowance)
+    : capacity_bytes_(capacity_bytes), jitter_allowance_(jitter_allowance) {
+  CRAS_CHECK(capacity_bytes > 0);
+  CRAS_CHECK(jitter_allowance >= 0);
+}
+
+void TimeDrivenBuffer::DiscardObsolete(Time logical_now) {
+  const Time discard_before = logical_now - jitter_allowance_;
+  auto it = chunks_.begin();
+  while (it != chunks_.end()) {
+    const BufferedChunk& c = it->second;
+    if (c.timestamp + c.duration <= discard_before) {
+      resident_bytes_ -= c.size;
+      ++stats_.discarded_obsolete;
+      it = chunks_.erase(it);
+    } else {
+      // Keyed by timestamp: everything later is still live.
+      break;
+    }
+  }
+}
+
+void TimeDrivenBuffer::Put(const BufferedChunk& chunk, Time logical_now) {
+  DiscardObsolete(logical_now);
+  if (chunk.timestamp + chunk.duration <= logical_now - jitter_allowance_) {
+    // The data arrived after its playback window closed (a deadline miss
+    // upstream); the time-driven rule says it is already garbage.
+    ++stats_.rejected_late;
+    return;
+  }
+  // A duplicate put (e.g. after a seek re-fetches a window) replaces the
+  // resident copy.
+  auto existing = chunks_.find(chunk.timestamp);
+  if (existing != chunks_.end()) {
+    resident_bytes_ -= existing->second.size;
+    chunks_.erase(existing);
+    ++stats_.replaced;
+  }
+  while (resident_bytes_ + chunk.size > capacity_bytes_ && !chunks_.empty()) {
+    auto oldest = chunks_.begin();
+    resident_bytes_ -= oldest->second.size;
+    chunks_.erase(oldest);
+    ++stats_.overflow_evictions;
+  }
+  chunks_.emplace(chunk.timestamp, chunk);
+  resident_bytes_ += chunk.size;
+  stats_.max_resident_bytes = std::max(stats_.max_resident_bytes, resident_bytes_);
+  ++stats_.puts;
+}
+
+std::optional<BufferedChunk> TimeDrivenBuffer::Get(Time t) {
+  // Last chunk with timestamp <= t whose interval covers t.
+  auto it = chunks_.upper_bound(t);
+  if (it == chunks_.begin()) {
+    ++stats_.get_misses;
+    return std::nullopt;
+  }
+  --it;
+  const BufferedChunk& c = it->second;
+  if (t >= c.timestamp + c.duration) {
+    ++stats_.get_misses;
+    return std::nullopt;
+  }
+  ++stats_.get_hits;
+  return c;
+}
+
+void TimeDrivenBuffer::Clear() {
+  chunks_.clear();
+  resident_bytes_ = 0;
+}
+
+}  // namespace cras

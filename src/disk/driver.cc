@@ -1,0 +1,87 @@
+#include "src/disk/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crdisk {
+
+DiskDriver::DiskDriver(crsim::Engine& engine, DiskDevice& device)
+    : DiskDriver(engine, device, Options{}) {}
+
+DiskDriver::DiskDriver(crsim::Engine& engine, DiskDevice& device, const Options& options)
+    : engine_(&engine), device_(&device), options_(options) {
+  device_->set_on_idle([this] { MaybeDispatch(); });
+}
+
+std::uint64_t DiskDriver::Submit(DiskRequest req) {
+  const std::uint64_t id = next_id_++;
+  const bool realtime = req.realtime && !options_.unified_queue;
+  Pending pending{std::move(req), id, engine_->Now(), 0, next_seq_++};
+  pending.cylinder = device_->geometry().CylinderOf(pending.req.lba);
+
+  std::vector<Pending>& queue = realtime ? rt_queue_ : normal_queue_;
+  DriverQueueStats& stats = realtime ? rt_stats_ : normal_stats_;
+  queue.push_back(std::move(pending));
+  stats.submitted += 1;
+  stats.max_depth = std::max(stats.max_depth, queue.size());
+
+  MaybeDispatch();
+  return id;
+}
+
+DiskDriver::Pending DiskDriver::PopNext(std::vector<Pending>& queue) {
+  CRAS_CHECK(!queue.empty());
+  std::size_t best = 0;
+  if (options_.discipline == QueueDiscipline::kFifo) {
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (queue[i].seq < queue[best].seq) {
+        best = i;
+      }
+    }
+  } else {
+    // C-SCAN relative to the head's current cylinder: lowest cylinder at or
+    // beyond the head wins; if the sweep is past every request, wrap to the
+    // lowest cylinder overall. Ties break FIFO.
+    const std::int64_t head = device_->current_cylinder();
+    auto better = [&](const Pending& a, const Pending& b) {
+      const bool a_ahead = a.cylinder >= head;
+      const bool b_ahead = b.cylinder >= head;
+      if (a_ahead != b_ahead) {
+        return a_ahead;  // requests ahead of the sweep beat wrapped ones
+      }
+      if (a.cylinder != b.cylinder) {
+        return a.cylinder < b.cylinder;
+      }
+      return a.seq < b.seq;
+    };
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (better(queue[i], queue[best])) {
+        best = i;
+      }
+    }
+  }
+  Pending chosen = std::move(queue[best]);
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+  return chosen;
+}
+
+void DiskDriver::MaybeDispatch() {
+  if (device_->busy()) {
+    return;
+  }
+  const bool from_rt = !rt_queue_.empty();
+  if (!from_rt && normal_queue_.empty()) {
+    return;
+  }
+  Pending next = PopNext(from_rt ? rt_queue_ : normal_queue_);
+  DriverQueueStats& stats = from_rt ? rt_stats_ : normal_stats_;
+  const Duration waited = engine_->Now() - next.enqueued_at;
+  stats.completed += 1;
+  stats.total_queue_time += waited;
+  stats.max_queue_time = std::max(stats.max_queue_time, waited);
+  device_->StartIo(next.req, next.id, next.enqueued_at);
+}
+
+}  // namespace crdisk

@@ -1,0 +1,188 @@
+// Disk geometry and address arithmetic.
+//
+// The model disk is calibrated to the paper's Seagate ST32550N (Barracuda
+// 2LP): ~2 GB, 7200 rpm (8.33 ms rotation), ~6.5 MB/s media rate, seeks
+// between 4 ms and 17 ms. Addresses are linear sector numbers (LBA) mapped
+// to (cylinder, head, sector) in the classic order: all sectors of a track,
+// all tracks of a cylinder, then the next cylinder.
+//
+// Two recording layouts are supported:
+//  * uniform — every track holds `sectors_per_track` sectors (the default;
+//    all paper results are calibrated against it);
+//  * zoned (ZBR) — the drive's real layout: outer zones pack more sectors
+//    per track, so the media rate falls from the outside in. Enable by
+//    filling `zones` (outermost first). A conservative consumer (the
+//    admission test) must then use MinTransferRate().
+
+#ifndef SRC_DISK_GEOMETRY_H_
+#define SRC_DISK_GEOMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/time_units.h"
+
+namespace crdisk {
+
+using crbase::Duration;
+using crbase::Time;
+
+using Lba = std::int64_t;
+
+// One recording zone: a band of cylinders sharing a sectors-per-track
+// count. Zones are listed outermost (highest density) first and are
+// addressed cylinder 0 upward.
+struct DiskZone {
+  std::int64_t cylinders = 0;
+  std::int64_t sectors_per_track = 0;
+};
+
+struct DiskGeometry {
+  std::int64_t cylinders = 3510;
+  std::int64_t heads = 11;
+  std::int64_t sectors_per_track = 108;  // uniform layout (ignored when zoned)
+  std::int64_t sector_size = 512;
+  std::int64_t rpm = 7200;
+  // Non-empty enables zoned bit recording; zone cylinder counts must sum to
+  // `cylinders`.
+  std::vector<DiskZone> zones;
+
+  bool zoned() const { return !zones.empty(); }
+
+  // Sectors per track in the zone containing `cylinder`.
+  std::int64_t SectorsPerTrackAt(std::int64_t cylinder) const {
+    if (!zoned()) {
+      return sectors_per_track;
+    }
+    std::int64_t first = 0;
+    for (const DiskZone& zone : zones) {
+      if (cylinder < first + zone.cylinders) {
+        return zone.sectors_per_track;
+      }
+      first += zone.cylinders;
+    }
+    CRAS_CHECK(false) << "cylinder " << cylinder << " beyond the last zone";
+    return 0;
+  }
+
+  std::int64_t SectorsPerCylinderAt(std::int64_t cylinder) const {
+    return heads * SectorsPerTrackAt(cylinder);
+  }
+
+  // Uniform-layout helper; for zoned disks this is the outermost zone (used
+  // only for coarse sizing such as UFS cylinder groups).
+  std::int64_t sectors_per_cylinder() const {
+    return heads * (zoned() ? zones.front().sectors_per_track : sectors_per_track);
+  }
+
+  std::int64_t total_sectors() const {
+    if (!zoned()) {
+      return cylinders * sectors_per_cylinder();
+    }
+    std::int64_t total = 0;
+    for (const DiskZone& zone : zones) {
+      total += zone.cylinders * heads * zone.sectors_per_track;
+    }
+    return total;
+  }
+
+  std::int64_t capacity_bytes() const { return total_sectors() * sector_size; }
+
+  // One full platter revolution.
+  Duration rotation_time() const { return crbase::Seconds(60) / rpm; }
+
+  // Media rate of the track holding `cylinder`.
+  double TransferRateAt(std::int64_t cylinder) const {
+    return static_cast<double>(SectorsPerTrackAt(cylinder) * sector_size) /
+           crbase::ToSeconds(rotation_time());
+  }
+
+  // Uniform rate, or the *outermost* (fastest) zone's rate when zoned.
+  double transfer_rate() const { return TransferRateAt(0); }
+
+  // Worst-case media rate: the innermost zone. What a rate guarantee must
+  // assume when file placement is not controlled.
+  double MinTransferRate() const { return TransferRateAt(cylinders - 1); }
+
+  std::int64_t CylinderOf(Lba lba) const {
+    CRAS_CHECK(lba >= 0 && lba < total_sectors()) << "LBA out of range: " << lba;
+    if (!zoned()) {
+      return lba / sectors_per_cylinder();
+    }
+    std::int64_t first_cylinder = 0;
+    for (const DiskZone& zone : zones) {
+      const std::int64_t zone_sectors = zone.cylinders * heads * zone.sectors_per_track;
+      if (lba < zone_sectors) {
+        return first_cylinder + lba / (heads * zone.sectors_per_track);
+      }
+      lba -= zone_sectors;
+      first_cylinder += zone.cylinders;
+    }
+    CRAS_CHECK(false) << "unreachable";
+    return 0;
+  }
+
+  // Index of the sector within its track; determines angular position.
+  std::int64_t SectorInTrack(Lba lba) const {
+    if (!zoned()) {
+      return lba % sectors_per_track;
+    }
+    for (const DiskZone& zone : zones) {
+      const std::int64_t zone_sectors = zone.cylinders * heads * zone.sectors_per_track;
+      if (lba < zone_sectors) {
+        return lba % zone.sectors_per_track;
+      }
+      lba -= zone_sectors;
+    }
+    CRAS_CHECK(false) << "unreachable";
+    return 0;
+  }
+
+  // Angular position of a sector's start, in [0, 1) revolutions.
+  double AngleOf(Lba lba) const {
+    const std::int64_t spt =
+        zoned() ? SectorsPerTrackAt(CylinderOf(lba)) : sectors_per_track;
+    return static_cast<double>(SectorInTrack(lba)) / static_cast<double>(spt);
+  }
+
+  // Sanity check for zoned configurations.
+  void Validate() const {
+    if (!zoned()) {
+      return;
+    }
+    std::int64_t total_cylinders = 0;
+    std::int64_t previous_spt = 1 << 30;
+    for (const DiskZone& zone : zones) {
+      CRAS_CHECK(zone.cylinders > 0 && zone.sectors_per_track > 0);
+      CRAS_CHECK(zone.sectors_per_track <= previous_spt)
+          << "zones must be outermost (densest) first";
+      previous_spt = zone.sectors_per_track;
+      total_cylinders += zone.cylinders;
+    }
+    CRAS_CHECK(total_cylinders == cylinders)
+        << "zone cylinders sum to " << total_cylinders << ", geometry says " << cylinders;
+  }
+};
+
+// The disk the paper measured (Table 4 context), uniform layout calibrated
+// to its average media rate.
+inline DiskGeometry St32550nGeometry() { return DiskGeometry{}; }
+
+// The same drive with its zoned layout modelled: four bands from 126 to 90
+// sectors/track (7.7 down to 5.5 MB/s), averaging ~6.6 MB/s.
+inline DiskGeometry St32550nZonedGeometry() {
+  DiskGeometry geometry;
+  geometry.zones = {
+      {878, 126},
+      {878, 114},
+      {877, 102},
+      {877, 90},
+  };
+  geometry.Validate();
+  return geometry;
+}
+
+}  // namespace crdisk
+
+#endif  // SRC_DISK_GEOMETRY_H_

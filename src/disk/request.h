@@ -1,0 +1,56 @@
+// Disk request and completion records.
+
+#ifndef SRC_DISK_REQUEST_H_
+#define SRC_DISK_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/time_units.h"
+#include "src/disk/geometry.h"
+
+namespace crdisk {
+
+enum class IoKind { kRead, kWrite };
+
+// Timing breakdown of one serviced request; the per-component costs are what
+// calibration benches and the admission-accuracy figures consume.
+struct DiskCompletion {
+  std::uint64_t request_id = 0;
+  IoKind kind = IoKind::kRead;
+  Lba lba = 0;
+  std::int64_t sectors = 0;
+  bool realtime = false;
+
+  crbase::Time enqueued_at = 0;   // handed to the driver
+  crbase::Time started_at = 0;    // device began servicing
+  crbase::Time finished_at = 0;
+
+  Duration command_time = 0;
+  Duration seek_time = 0;
+  Duration rotation_time = 0;
+  Duration transfer_time = 0;
+
+  std::int64_t bytes() const { return sectors * 512; }
+  Duration service_time() const { return finished_at - started_at; }
+  Duration queue_time() const { return started_at - enqueued_at; }
+  Duration total_time() const { return finished_at - enqueued_at; }
+};
+
+// A request as submitted to the driver. Payload bytes are not materialized:
+// the simulation carries sizes and addresses only, which fully determines
+// timing (the paper's results are functions of timing alone).
+struct DiskRequest {
+  IoKind kind = IoKind::kRead;
+  Lba lba = 0;
+  std::int64_t sectors = 0;
+  // Real-time requests go to the driver's real-time queue, which is always
+  // served ahead of the normal queue (the paper's first Real-Time Mach
+  // modification).
+  bool realtime = false;
+  std::function<void(const DiskCompletion&)> on_complete;
+};
+
+}  // namespace crdisk
+
+#endif  // SRC_DISK_REQUEST_H_

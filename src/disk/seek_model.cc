@@ -1,0 +1,72 @@
+#include "src/disk/seek_model.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace crdisk {
+
+Duration PhysicalSeekModel::SeekTime(std::int64_t distance_cylinders) const {
+  if (distance_cylinders <= 0) {
+    return 0;
+  }
+  const double x = static_cast<double>(distance_cylinders);
+  double ms = 0;
+  if (distance_cylinders < params_.crossover_cylinders) {
+    ms = params_.sqrt_base_ms + params_.sqrt_coeff_ms * std::sqrt(x);
+  } else {
+    ms = params_.lin_base_ms + params_.lin_coeff_ms * x;
+  }
+  return crbase::MillisecondsF(ms);
+}
+
+LinearSeekModel::LinearSeekModel(Duration t_seek_min, Duration t_seek_max,
+                                 std::int64_t total_cylinders)
+    : t_seek_min_(t_seek_min),
+      t_seek_max_(t_seek_max),
+      alpha_(static_cast<double>(t_seek_max - t_seek_min) / static_cast<double>(total_cylinders)),
+      total_cylinders_(total_cylinders) {
+  CRAS_CHECK(total_cylinders > 0);
+  CRAS_CHECK(t_seek_max >= t_seek_min);
+}
+
+Duration LinearSeekModel::SeekTime(std::int64_t distance_cylinders) const {
+  if (distance_cylinders <= 0) {
+    return 0;
+  }
+  return t_seek_min_ + static_cast<Duration>(alpha_ * static_cast<double>(distance_cylinders));
+}
+
+LinearSeekModel FitLinearSeekModel(const std::vector<SeekSample>& samples,
+                                   std::int64_t total_cylinders) {
+  CRAS_CHECK(samples.size() >= 2) << "need at least two samples to fit a line";
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const SeekSample& s : samples) {
+    const double x = static_cast<double>(s.distance_cylinders);
+    const double y = static_cast<double>(s.seek_time);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  CRAS_CHECK(denom != 0) << "degenerate sample set: all distances equal";
+  double slope = (n * sxy - sx * sy) / denom;
+  double intercept = (sy - slope * sx) / n;
+  if (intercept < 0) {
+    intercept = 0;
+  }
+  if (slope < 0) {
+    slope = 0;
+  }
+  const Duration t_min = static_cast<Duration>(intercept);
+  const Duration t_max =
+      static_cast<Duration>(intercept + slope * static_cast<double>(total_cylinders));
+  return LinearSeekModel(t_min, t_max, total_cylinders);
+}
+
+}  // namespace crdisk

@@ -1,0 +1,128 @@
+#include "src/media/chunk_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace crmedia {
+
+ChunkIndex::ChunkIndex(std::vector<Chunk> chunks) : chunks_(std::move(chunks)) {
+  Time expected_ts = 0;
+  std::int64_t expected_offset = 0;
+  for (const Chunk& c : chunks_) {
+    CRAS_CHECK(c.size > 0 && c.duration > 0) << "chunks must have positive size and duration";
+    CRAS_CHECK(c.timestamp == expected_ts) << "timestamps must be cumulative durations";
+    CRAS_CHECK(c.offset == expected_offset) << "chunks must be back to back in the file";
+    expected_ts += c.duration;
+    expected_offset += c.size;
+    total_bytes_ += c.size;
+    total_duration_ += c.duration;
+    max_chunk_bytes_ = std::max(max_chunk_bytes_, c.size);
+  }
+}
+
+double ChunkIndex::average_rate() const {
+  if (total_duration_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_bytes_) / crbase::ToSeconds(total_duration_);
+}
+
+double ChunkIndex::WorstRate(Duration window) const {
+  CRAS_CHECK(window > 0);
+  if (chunks_.empty()) {
+    return 0.0;
+  }
+  // Slide a [t, t+window) window over chunk start times; a chunk whose
+  // timestamp falls inside the window must be delivered within it.
+  double worst = 0.0;
+  std::size_t tail = 0;
+  std::int64_t bytes_in_window = 0;
+  for (std::size_t head = 0; head < chunks_.size(); ++head) {
+    bytes_in_window += chunks_[head].size;
+    while (chunks_[head].timestamp - chunks_[tail].timestamp >= window) {
+      bytes_in_window -= chunks_[tail].size;
+      ++tail;
+    }
+    worst = std::max(worst, static_cast<double>(bytes_in_window) / crbase::ToSeconds(window));
+  }
+  return worst;
+}
+
+std::int64_t ChunkIndex::FindByTime(Time t) const {
+  if (chunks_.empty() || t < 0) {
+    return -1;
+  }
+  // Binary search for the last chunk with timestamp <= t.
+  auto it = std::upper_bound(chunks_.begin(), chunks_.end(), t,
+                             [](Time value, const Chunk& c) { return value < c.timestamp; });
+  return static_cast<std::int64_t>(it - chunks_.begin()) - 1;
+}
+
+std::pair<std::int64_t, std::int64_t> ChunkIndex::RangeByTime(Time from, Time to) const {
+  if (chunks_.empty() || to <= from) {
+    return {0, 0};
+  }
+  std::int64_t first = FindByTime(from);
+  if (first < 0) {
+    first = 0;
+  } else if (chunks_[static_cast<std::size_t>(first)].timestamp +
+                 chunks_[static_cast<std::size_t>(first)].duration <=
+             from) {
+    ++first;  // `from` is past the end of this chunk
+  }
+  auto it = std::lower_bound(chunks_.begin(), chunks_.end(), to,
+                             [](const Chunk& c, Time value) { return c.timestamp < value; });
+  const std::int64_t last = static_cast<std::int64_t>(it - chunks_.begin());
+  if (first >= last) {
+    return {first, first};
+  }
+  return {first, last};
+}
+
+namespace {
+
+// Timestamp of frame i at `fps`, rounded so that frame k*fps lands exactly
+// on the k-second boundary (per-frame rounding would drift and push chunk
+// starts across scheduling-window boundaries).
+Time FrameTimestamp(std::int64_t i, double fps) {
+  return crbase::SecondsF(static_cast<double>(i) / fps);
+}
+
+}  // namespace
+
+ChunkIndex BuildCbrIndex(double bytes_per_sec, double fps, Duration length) {
+  CRAS_CHECK(bytes_per_sec > 0 && fps > 0 && length > 0);
+  const std::int64_t frame_bytes = static_cast<std::int64_t>(bytes_per_sec / fps);
+  const std::int64_t frames = length / crbase::SecondsF(1.0 / fps);
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>(frames));
+  std::int64_t offset = 0;
+  for (std::int64_t i = 0; i < frames; ++i) {
+    const Time ts = FrameTimestamp(i, fps);
+    chunks.push_back(Chunk{offset, frame_bytes, ts, FrameTimestamp(i + 1, fps) - ts});
+    offset += frame_bytes;
+  }
+  return ChunkIndex(std::move(chunks));
+}
+
+ChunkIndex BuildVbrIndex(double mean_bytes_per_sec, double cv, double fps, Duration length,
+                         crbase::Rng& rng) {
+  CRAS_CHECK(mean_bytes_per_sec > 0 && fps > 0 && length > 0 && cv >= 0);
+  const double mean_frame = mean_bytes_per_sec / fps;
+  const std::int64_t frames = length / crbase::SecondsF(1.0 / fps);
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>(frames));
+  std::int64_t offset = 0;
+  for (std::int64_t i = 0; i < frames; ++i) {
+    std::int64_t size = static_cast<std::int64_t>(rng.NextLogNormal(mean_frame, cv));
+    size = std::max<std::int64_t>(size, 256);
+    const Time ts = FrameTimestamp(i, fps);
+    chunks.push_back(Chunk{offset, size, ts, FrameTimestamp(i + 1, fps) - ts});
+    offset += size;
+  }
+  return ChunkIndex(std::move(chunks));
+}
+
+}  // namespace crmedia

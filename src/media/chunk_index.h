@@ -1,0 +1,81 @@
+// Continuous-media chunk index (the "control file").
+//
+// The paper's client passes CRAS, at open time, the timestamp, duration, and
+// size of every chunk of the stream; this timing information normally lives
+// in a control file beside the media file. The timestamp of a chunk is the
+// sum of the durations of all chunks before it (§2.5). CRAS uses the index
+// to schedule prefetches and discard obsolete buffers; players use it to
+// locate frames by logical time.
+
+#ifndef SRC_MEDIA_CHUNK_INDEX_H_
+#define SRC_MEDIA_CHUNK_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/random.h"
+#include "src/base/time_units.h"
+
+namespace crmedia {
+
+using crbase::Duration;
+using crbase::Time;
+
+struct Chunk {
+  std::int64_t offset = 0;   // byte offset in the media file
+  std::int64_t size = 0;     // bytes
+  Time timestamp = 0;        // logical time of this chunk (sum of prior durations)
+  Duration duration = 0;     // playback duration
+};
+
+class ChunkIndex {
+ public:
+  ChunkIndex() = default;
+  explicit ChunkIndex(std::vector<Chunk> chunks);
+
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+  std::size_t count() const { return chunks_.size(); }
+  bool empty() const { return chunks_.empty(); }
+  const Chunk& at(std::size_t i) const { return chunks_[i]; }
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+  Duration total_duration() const { return total_duration_; }
+  std::int64_t max_chunk_bytes() const { return max_chunk_bytes_; }
+
+  // Mean data rate over the whole stream, bytes/second.
+  double average_rate() const;
+
+  // Worst-case data rate over any window of `window` logical time — the
+  // rate a VBR stream must declare to CRAS so that every interval's demand
+  // is covered (§3.2 problem 1 is exactly the gap between this and the
+  // average rate).
+  double WorstRate(Duration window) const;
+
+  // Index of the chunk whose [timestamp, timestamp+duration) covers `t`;
+  // -1 before the first chunk, count()-1 clamped at/after the end.
+  std::int64_t FindByTime(Time t) const;
+
+  // Chunks whose logical interval intersects [from, to).
+  // Returned as [first, last) index pair; first == last when none.
+  std::pair<std::int64_t, std::int64_t> RangeByTime(Time from, Time to) const;
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::int64_t total_bytes_ = 0;
+  Duration total_duration_ = 0;
+  std::int64_t max_chunk_bytes_ = 0;
+};
+
+// Constant-bit-rate stream: `fps` equal-sized chunks per second at
+// `bytes_per_sec`, for `length` of playback. Models the paper's MPEG1
+// (1.5 Mb/s) and MPEG2 (6 Mb/s) test streams.
+ChunkIndex BuildCbrIndex(double bytes_per_sec, double fps, Duration length);
+
+// Variable-bit-rate stream: log-normal chunk sizes with the given mean rate
+// and coefficient of variation (JPEG/MPEG-like, §3.2 problem 1).
+ChunkIndex BuildVbrIndex(double mean_bytes_per_sec, double cv, double fps, Duration length,
+                         crbase::Rng& rng);
+
+}  // namespace crmedia
+
+#endif  // SRC_MEDIA_CHUNK_INDEX_H_

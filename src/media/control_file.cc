@@ -1,0 +1,99 @@
+#include "src/media/control_file.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace crmedia {
+
+namespace {
+
+constexpr char kMagic[] = "CRASCTL";
+constexpr int kVersion = 1;
+
+crbase::Status LineError(int line, const std::string& what) {
+  return crbase::InvalidArgumentError("control file line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string SerializeControlFile(const ChunkIndex& index) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %d %zu\n", kMagic, kVersion, index.count());
+  out += buf;
+  for (const Chunk& chunk : index.chunks()) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " %" PRId64 " %" PRId64 " %" PRId64 "\n",
+                  chunk.offset, chunk.size, chunk.timestamp, chunk.duration);
+    out += buf;
+  }
+  return out;
+}
+
+crbase::Result<ChunkIndex> ParseControlFile(const std::string& text) {
+  // Split into lines without copying where possible.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  if (lines.empty()) {
+    return crbase::InvalidArgumentError("control file is empty");
+  }
+
+  char magic[16];
+  int version = 0;
+  std::uint64_t count = 0;
+  if (std::sscanf(lines[0].c_str(), "%15s %d %" PRIu64, magic, &version, &count) != 3 ||
+      std::strcmp(magic, kMagic) != 0) {
+    return LineError(1, "bad header (expected 'CRASCTL <version> <count>')");
+  }
+  if (version != kVersion) {
+    return crbase::InvalidArgumentError("unsupported control file version " +
+                                        std::to_string(version));
+  }
+  if (lines.size() < count + 1) {
+    return crbase::InvalidArgumentError("control file truncated: header promises " +
+                                        std::to_string(count) + " chunks, found " +
+                                        std::to_string(lines.size() - 1));
+  }
+
+  std::vector<Chunk> chunks;
+  chunks.reserve(count);
+  std::int64_t expected_offset = 0;
+  Time expected_ts = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int line_number = static_cast<int>(i) + 2;
+    Chunk chunk;
+    if (std::sscanf(lines[i + 1].c_str(),
+                    "%" SCNd64 " %" SCNd64 " %" SCNd64 " %" SCNd64, &chunk.offset,
+                    &chunk.size, &chunk.timestamp, &chunk.duration) != 4) {
+      return LineError(line_number, "expected four integer fields");
+    }
+    if (chunk.size <= 0 || chunk.duration <= 0) {
+      return LineError(line_number, "size and duration must be positive");
+    }
+    if (chunk.offset != expected_offset) {
+      return LineError(line_number, "offset " + std::to_string(chunk.offset) +
+                                        " breaks the cumulative-sum invariant (expected " +
+                                        std::to_string(expected_offset) + ")");
+    }
+    if (chunk.timestamp != expected_ts) {
+      return LineError(line_number, "timestamp " + std::to_string(chunk.timestamp) +
+                                        " breaks the cumulative-sum invariant (expected " +
+                                        std::to_string(expected_ts) + ")");
+    }
+    expected_offset += chunk.size;
+    expected_ts += chunk.duration;
+    chunks.push_back(chunk);
+  }
+  return ChunkIndex(std::move(chunks));
+}
+
+}  // namespace crmedia

@@ -1,0 +1,36 @@
+// Control files (§2.5).
+//
+// "Usually, this timing information is stored in a control file separate
+// from the continuous media data file." This module defines that file: a
+// line-oriented text format carrying the stream's chunk table, written next
+// to the media file and parsed by clients at crs_open time.
+//
+// Format (one header line, then one line per chunk):
+//
+//   CRASCTL 1 <chunk-count>
+//   <offset> <size> <timestamp-ns> <duration-ns>
+//   ...
+//
+// Offsets/timestamps are redundant (cumulative sums) and are validated on
+// parse; any inconsistency is rejected rather than repaired.
+
+#ifndef SRC_MEDIA_CONTROL_FILE_H_
+#define SRC_MEDIA_CONTROL_FILE_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/media/chunk_index.h"
+
+namespace crmedia {
+
+// Renders the index in control-file format.
+std::string SerializeControlFile(const ChunkIndex& index);
+
+// Parses control-file text; returns InvalidArgument with a line-numbered
+// message on any malformed or inconsistent input.
+crbase::Result<ChunkIndex> ParseControlFile(const std::string& text);
+
+}  // namespace crmedia
+
+#endif  // SRC_MEDIA_CONTROL_FILE_H_

@@ -1,0 +1,37 @@
+#include "src/media/load.h"
+
+#include "src/base/logging.h"
+
+namespace crmedia {
+
+crsim::Task SpawnCat(crrt::Kernel& kernel, crufs::UnixServer& server, crufs::InodeNumber inode,
+                     const std::string& name, const CatOptions& options) {
+  return kernel.Spawn(name, options.priority,
+                      [&server, inode, options](crrt::ThreadContext& ctx) -> crsim::Task {
+                        std::int64_t offset = 0;
+                        for (;;) {
+                          crbase::Status st =
+                              co_await server.Read(inode, offset, options.read_size);
+                          if (!st.ok()) {
+                            // Past EOF: wrap around and keep streaming.
+                            offset = 0;
+                            continue;
+                          }
+                          offset += options.read_size;
+                          if (options.think_time > 0) {
+                            co_await ctx.Sleep(options.think_time);
+                          }
+                        }
+                      });
+}
+
+crsim::Task SpawnCpuHog(crrt::Kernel& kernel, const std::string& name,
+                        const CpuHogOptions& options) {
+  return kernel.Spawn(name, options.priority, [options](crrt::ThreadContext& ctx) -> crsim::Task {
+    for (;;) {
+      co_await ctx.Compute(options.burst);
+    }
+  });
+}
+
+}  // namespace crmedia

@@ -1,0 +1,50 @@
+// Background-load generators used throughout the evaluation:
+//
+//  * `cat` tasks — low-priority sequential readers that loop over a large
+//    file through the Unix server, contending for the disk (the paper runs
+//    two of them against every "load" configuration);
+//  * CPU burners — timesharing tasks that consume the processor in bursts
+//    (Figure 10's competing activity).
+
+#ifndef SRC_MEDIA_LOAD_H_
+#define SRC_MEDIA_LOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time_units.h"
+#include "src/rtmach/kernel.h"
+#include "src/sim/task.h"
+#include "src/ufs/unix_server.h"
+
+namespace crmedia {
+
+struct CatOptions {
+  // Bytes per read() call; `cat` on an 8 KiB-block FFS reads a block at a
+  // time and triggers 64 KiB clustered read-ahead in the server.
+  std::int64_t read_size = 8 * 1024;
+  // Pause between reads. Zero models a flat-out `cat` (saturates the disk);
+  // a positive value models intermittent activity (a compile, a page-in)
+  // that contends in bursts.
+  crbase::Duration think_time = 0;
+  int priority = crrt::kPriorityTimesharing;
+};
+
+// Spawns a thread that reads `inode` sequentially through `server`, forever
+// (wrapping at EOF). Detach or hold the returned task.
+crsim::Task SpawnCat(crrt::Kernel& kernel, crufs::UnixServer& server, crufs::InodeNumber inode,
+                     const std::string& name, const CatOptions& options = {});
+
+struct CpuHogOptions {
+  // Each burst of CPU work, back to back: a pure compute-bound loop.
+  crbase::Duration burst = crbase::Milliseconds(20);
+  int priority = crrt::kPriorityTimesharing;
+};
+
+// Spawns a compute-bound thread that never blocks for I/O.
+crsim::Task SpawnCpuHog(crrt::Kernel& kernel, const std::string& name,
+                        const CpuHogOptions& options = {});
+
+}  // namespace crmedia
+
+#endif  // SRC_MEDIA_LOAD_H_

@@ -1,0 +1,33 @@
+#include "src/media/media_file.h"
+
+namespace crmedia {
+
+crbase::Result<MediaFile> WriteMediaFile(crufs::Ufs& fs, const std::string& name,
+                                         ChunkIndex index) {
+  auto inode = fs.Create(name);
+  if (!inode.ok()) {
+    return inode.status();
+  }
+  const crbase::Status appended = fs.Append(*inode, index.total_bytes());
+  if (!appended.ok()) {
+    (void)fs.Remove(name);
+    return appended;
+  }
+  MediaFile file;
+  file.name = name;
+  file.inode = *inode;
+  file.index = std::move(index);
+  return file;
+}
+
+crbase::Result<MediaFile> WriteMpeg1File(crufs::Ufs& fs, const std::string& name,
+                                         Duration length) {
+  return WriteMediaFile(fs, name, BuildCbrIndex(kMpeg1BytesPerSec, kVideoFps, length));
+}
+
+crbase::Result<MediaFile> WriteMpeg2File(crufs::Ufs& fs, const std::string& name,
+                                         Duration length) {
+  return WriteMediaFile(fs, name, BuildCbrIndex(kMpeg2BytesPerSec, kVideoFps, length));
+}
+
+}  // namespace crmedia

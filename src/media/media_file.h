@@ -1,0 +1,39 @@
+// Media files: a chunk index bound to a UFS file.
+
+#ifndef SRC_MEDIA_MEDIA_FILE_H_
+#define SRC_MEDIA_MEDIA_FILE_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/media/chunk_index.h"
+#include "src/ufs/ufs.h"
+
+namespace crmedia {
+
+// Stream-rate presets from the paper's evaluation.
+inline constexpr double kMpeg1BytesPerSec = 1.5e6 / 8.0;  // 1.5 Mb/s
+inline constexpr double kMpeg2BytesPerSec = 6.0e6 / 8.0;  // 6 Mb/s
+inline constexpr double kVideoFps = 30.0;
+
+struct MediaFile {
+  std::string name;
+  crufs::InodeNumber inode = crufs::kInvalidInode;
+  ChunkIndex index;
+};
+
+// Creates `name` on the file system and appends the index's bytes under the
+// file system's current allocation policy (an "offline" population step; no
+// simulated time passes).
+crbase::Result<MediaFile> WriteMediaFile(crufs::Ufs& fs, const std::string& name,
+                                         ChunkIndex index);
+
+// Convenience builders for the paper's standard test streams.
+crbase::Result<MediaFile> WriteMpeg1File(crufs::Ufs& fs, const std::string& name,
+                                         Duration length);
+crbase::Result<MediaFile> WriteMpeg2File(crufs::Ufs& fs, const std::string& name,
+                                         Duration length);
+
+}  // namespace crmedia
+
+#endif  // SRC_MEDIA_MEDIA_FILE_H_

@@ -1,0 +1,60 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/bytes.h"
+#include "src/base/logging.h"
+
+namespace crnet {
+
+Link::Link(crsim::Engine& engine, const Options& options) : engine_(&engine), options_(options) {
+  CRAS_CHECK(options.bandwidth_bytes_per_sec > 0);
+  CRAS_CHECK(options.propagation_delay >= 0);
+}
+
+Link::Link(crsim::Engine& engine) : Link(engine, Options{}) {}
+
+bool Link::Send(std::int64_t bytes, std::function<void()> deliver) {
+  CRAS_CHECK(bytes > 0);
+  if (options_.queue_limit != 0 && queue_.size() >= options_.queue_limit) {
+    ++stats_.packets_dropped;
+    return false;
+  }
+  ++stats_.packets_sent;
+  queue_.push_back(Packet{bytes, std::move(deliver)});
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+  if (!transmitting_) {
+    StartTransmit();
+  }
+  return true;
+}
+
+void Link::StartTransmit() {
+  CRAS_CHECK(!transmitting_);
+  if (queue_.empty()) {
+    return;
+  }
+  transmitting_ = true;
+  Packet packet = std::move(queue_.front());
+  queue_.pop_front();
+  const Duration wire_time = crbase::TransferTime(packet.bytes + options_.per_packet_overhead,
+                                                  options_.bandwidth_bytes_per_sec);
+  stats_.busy_time += wire_time;
+  // Serialization completes, then the bits propagate. The next packet may
+  // begin serializing as soon as this one leaves the interface.
+  engine_->ScheduleAfter(wire_time, [this, packet = std::move(packet)]() mutable {
+    transmitting_ = false;
+    engine_->ScheduleAfter(options_.propagation_delay,
+                           [this, bytes = packet.bytes, deliver = std::move(packet.deliver)] {
+                             ++stats_.packets_delivered;
+                             stats_.bytes_delivered += bytes;
+                             if (deliver) {
+                               deliver();
+                             }
+                           });
+    StartTransmit();
+  });
+}
+
+}  // namespace crnet

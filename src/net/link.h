@@ -1,0 +1,82 @@
+// A point-to-point network link.
+//
+// Models the paper's 10 Mb/s Ethernet between the QtPlay server and client
+// (Figure 11): packets serialize onto the wire at the link bandwidth, then
+// arrive after the propagation delay. Transmission is FIFO; the link never
+// drops (a switched full-duplex segment) but an optional queue bound can
+// force drops to exercise loss handling.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/base/time_units.h"
+#include "src/sim/engine.h"
+
+namespace crnet {
+
+using crbase::Duration;
+using crbase::Time;
+
+struct LinkStats {
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t packets_dropped = 0;
+  std::int64_t bytes_delivered = 0;
+  Duration busy_time = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+class Link {
+ public:
+  struct Options {
+    double bandwidth_bytes_per_sec = 10e6 / 8.0;  // 10 Mb/s Ethernet
+    Duration propagation_delay = crbase::Microseconds(500);
+    // Per-packet framing overhead (headers, interframe gap) in bytes.
+    std::int64_t per_packet_overhead = 64;
+    // Transmit queue bound in packets; 0 = unbounded.
+    std::size_t queue_limit = 0;
+  };
+
+  Link(crsim::Engine& engine, const Options& options);
+  Link(crsim::Engine& engine);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Queues `bytes` for transmission; `deliver` fires at the receiver once
+  // the packet has fully serialized and propagated. Returns false (and
+  // counts a drop) if the transmit queue is full.
+  bool Send(std::int64_t bytes, std::function<void()> deliver);
+
+  const LinkStats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return queue_.size() + (transmitting_ ? 1 : 0); }
+  const Options& options() const { return options_; }
+
+  // Offered-load utilization over the life of the link.
+  double Utilization() const {
+    return engine_->Now() == 0
+               ? 0.0
+               : static_cast<double>(stats_.busy_time) / static_cast<double>(engine_->Now());
+  }
+
+ private:
+  struct Packet {
+    std::int64_t bytes;
+    std::function<void()> deliver;
+  };
+
+  void StartTransmit();
+
+  crsim::Engine* engine_;
+  Options options_;
+  std::deque<Packet> queue_;
+  bool transmitting_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace crnet
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,99 @@
+#include "src/net/nps.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace crnet {
+
+NpsReceiver::NpsReceiver(crrt::Kernel& kernel, const Options& options)
+    : kernel_(&kernel),
+      buffer_(options.buffer_bytes, options.jitter_allowance),
+      clock_(kernel.engine()) {}
+
+NpsReceiver::NpsReceiver(crrt::Kernel& kernel) : NpsReceiver(kernel, Options{}) {}
+
+void NpsReceiver::Deliver(const cras::BufferedChunk& chunk, crbase::Time sent_at) {
+  cras::BufferedChunk local = chunk;
+  local.filled_at = kernel_->Now();
+  buffer_.Put(local, clock_.Now());
+  ++stats_.chunks_received;
+  stats_.bytes_received += chunk.size;
+  stats_.max_network_latency =
+      std::max(stats_.max_network_latency, kernel_->Now() - sent_at);
+}
+
+std::optional<cras::BufferedChunk> NpsReceiver::Get(crbase::Time t) {
+  buffer_.DiscardObsolete(clock_.Now());
+  return buffer_.Get(t);
+}
+
+NpsSender::NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
+                     NpsReceiver& receiver, const Options& options)
+    : kernel_(&kernel), server_(&server), link_(&link), receiver_(&receiver), options_(options) {}
+
+NpsSender::NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
+                     NpsReceiver& receiver)
+    : NpsSender(kernel, server, link, receiver, Options{}) {}
+
+crsim::Task NpsSender::Start(cras::SessionId session, const crmedia::ChunkIndex* index) {
+  return kernel_->Spawn("nps-sender", options_.priority,
+                        [this, session, index](crrt::ThreadContext& ctx) {
+                          return SenderThread(ctx, session, index);
+                        });
+}
+
+crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId session,
+                                    const crmedia::ChunkIndex* index) {
+  for (std::size_t cursor = 0; cursor < index->count(); ++cursor) {
+    const crmedia::Chunk& chunk = index->at(cursor);
+    // Ship each chunk `lookahead` before its logical due time. The logical
+    // clock may still be negative during the stream's initial delay.
+    while (server_->LogicalNow(session) < chunk.timestamp - options_.lookahead) {
+      co_await ctx.Sleep(options_.poll);
+    }
+    // Fetch from the shared buffer (crs_get). Data normally precedes the
+    // clock by a full interval, so this succeeds immediately; a chunk that
+    // never shows up by its due time is skipped (the receiver's buffer
+    // would discard it anyway).
+    std::optional<cras::BufferedChunk> buffered;
+    for (;;) {
+      buffered = server_->Get(session, chunk.timestamp);
+      if (buffered.has_value()) {
+        break;
+      }
+      if (server_->LogicalNow(session) > chunk.timestamp + chunk.duration) {
+        break;
+      }
+      co_await ctx.Sleep(options_.poll);
+    }
+    if (!buffered.has_value()) {
+      ++stats_.chunks_skipped;
+      continue;
+    }
+    co_await ctx.Compute(options_.cpu_per_chunk);
+
+    // Fragment onto the wire; the last fragment completes the chunk at the
+    // receiver. Links deliver FIFO, so fragment order is preserved.
+    const crbase::Time sent_at = ctx.Now();
+    std::int64_t remaining = buffered->size;
+    cras::BufferedChunk to_deliver = *buffered;
+    while (remaining > 0) {
+      const std::int64_t fragment = std::min(remaining, options_.max_packet_bytes);
+      remaining -= fragment;
+      ++stats_.packets_sent;
+      stats_.bytes_sent += fragment;
+      if (remaining == 0) {
+        NpsReceiver* receiver = receiver_;
+        link_->Send(fragment, [receiver, to_deliver, sent_at] {
+          receiver->Deliver(to_deliver, sent_at);
+        });
+      } else {
+        link_->Send(fragment, nullptr);
+      }
+    }
+    ++stats_.chunks_sent;
+  }
+}
+
+}  // namespace crnet

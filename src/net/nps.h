@@ -1,0 +1,114 @@
+// NPS — a user-level stream transmission engine (paper references [9, 10]).
+//
+// The paper's QtPlay application (Figure 11) is distributed: a qtserver
+// host retrieves movie data through CRAS and transmits it with NPS over
+// 10 Mb/s Ethernet to a qtclient host, which hands frames to its display
+// and audio sinks. This module provides that path:
+//
+//   NpsSender   — a thread on the server host that walks a session's chunk
+//                 index slightly ahead of the logical clock, fetches each
+//                 chunk from the CRAS shared buffer (crs_get), fragments it
+//                 into packets, and transmits them;
+//   NpsReceiver — the client-host endpoint that reassembles chunks into a
+//                 local time-driven buffer, from which a remote player
+//                 consumes by logical time exactly as a local one would.
+
+#ifndef SRC_NET_NPS_H_
+#define SRC_NET_NPS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/base/time_units.h"
+#include "src/core/cras.h"
+#include "src/core/time_driven_buffer.h"
+#include "src/net/link.h"
+#include "src/rtmach/kernel.h"
+#include "src/sim/task.h"
+
+namespace crnet {
+
+struct NpsReceiverStats {
+  std::int64_t chunks_received = 0;
+  std::int64_t bytes_received = 0;
+  crbase::Duration max_network_latency = 0;  // chunk send start -> reassembled
+};
+
+// Client-side endpoint: reassembled chunks land in a time-driven buffer.
+class NpsReceiver {
+ public:
+  struct Options {
+    std::int64_t buffer_bytes = 1 << 20;
+    crbase::Duration jitter_allowance = crbase::Milliseconds(100);
+  };
+
+  NpsReceiver(crrt::Kernel& kernel, const Options& options);
+  explicit NpsReceiver(crrt::Kernel& kernel);
+  NpsReceiver(const NpsReceiver&) = delete;
+  NpsReceiver& operator=(const NpsReceiver&) = delete;
+
+  // Invoked (by the sender's final fragment) when a chunk has fully
+  // arrived.
+  void Deliver(const cras::BufferedChunk& chunk, crbase::Time sent_at);
+
+  // The remote application's crs_get equivalent.
+  std::optional<cras::BufferedChunk> Get(crbase::Time t);
+
+  cras::LogicalClock& clock() { return clock_; }
+  const NpsReceiverStats& stats() const { return stats_; }
+  const cras::TimeDrivenBufferStats& buffer_stats() const { return buffer_.stats(); }
+
+ private:
+  crrt::Kernel* kernel_;
+  cras::TimeDrivenBuffer buffer_;
+  cras::LogicalClock clock_;
+  NpsReceiverStats stats_;
+};
+
+struct NpsSenderStats {
+  std::int64_t chunks_sent = 0;
+  std::int64_t chunks_skipped = 0;  // never appeared in the shared buffer
+  std::int64_t packets_sent = 0;
+  std::int64_t bytes_sent = 0;
+};
+
+// Server-side transmitter for one stream session.
+class NpsSender {
+ public:
+  struct Options {
+    // How far ahead of the session's logical clock chunks are shipped;
+    // hides the network serialization + propagation latency.
+    crbase::Duration lookahead = crbase::Milliseconds(250);
+    crbase::Duration poll = crbase::Milliseconds(5);
+    std::int64_t max_packet_bytes = 8 * 1024;  // fragmentation threshold
+    crbase::Duration cpu_per_chunk = crbase::Microseconds(150);
+    int priority = crrt::kPriorityServer - 1;  // below CRAS, above clients
+  };
+
+  NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link, NpsReceiver& receiver,
+            const Options& options);
+  NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link, NpsReceiver& receiver);
+  NpsSender(const NpsSender&) = delete;
+  NpsSender& operator=(const NpsSender&) = delete;
+
+  // Spawns the transmitter thread for `session`, walking `index` to its
+  // end. The returned task may be awaited or dropped.
+  crsim::Task Start(cras::SessionId session, const crmedia::ChunkIndex* index);
+
+  const NpsSenderStats& stats() const { return stats_; }
+
+ private:
+  crsim::Task SenderThread(crrt::ThreadContext& ctx, cras::SessionId session,
+                           const crmedia::ChunkIndex* index);
+
+  crrt::Kernel* kernel_;
+  cras::CrasServer* server_;
+  Link* link_;
+  NpsReceiver* receiver_;
+  Options options_;
+  NpsSenderStats stats_;
+};
+
+}  // namespace crnet
+
+#endif  // SRC_NET_NPS_H_

@@ -1,0 +1,46 @@
+#include "src/rtmach/kernel.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crrt {
+
+Kernel::Kernel() : Kernel(Options{}) {}
+
+Kernel::Kernel(const Options& options)
+    : owned_engine_(std::make_unique<crsim::Engine>()),
+      engine_(owned_engine_.get()),
+      cpu_(*engine_, options.policy, options.quantum) {}
+
+Kernel::Kernel(crsim::Engine& shared_engine, const Options& options)
+    : engine_(&shared_engine), cpu_(*engine_, options.policy, options.quantum) {}
+
+crsim::Task Kernel::Spawn(std::string name, int priority,
+                          std::function<crsim::Task(ThreadContext&)> body) {
+  auto record = std::make_unique<ThreadRecord>(*this, std::move(name), priority);
+  ThreadContext& context = record->context;
+  threads_.push_back(std::move(record));
+  ++live_threads_;
+  // Wrap the body so thread exit is observable for diagnostics.
+  auto wrapper = [](Kernel* kernel, ThreadContext* ctx,
+                    std::function<crsim::Task(ThreadContext&)> fn) -> crsim::Task {
+    co_await fn(*ctx);
+    --kernel->live_threads_;
+  };
+  return wrapper(this, &context, std::move(body));
+}
+
+void Kernel::WireMemory(const std::string& owner, std::int64_t bytes) {
+  CRAS_CHECK(bytes >= 0);
+  wired_bytes_ += bytes;
+  CRAS_LOG(kDebug) << owner << " wired " << bytes << " bytes (total " << wired_bytes_ << ")";
+}
+
+void Kernel::UnwireMemory(const std::string& owner, std::int64_t bytes) {
+  CRAS_CHECK(bytes >= 0);
+  wired_bytes_ -= bytes;
+  CRAS_CHECK(wired_bytes_ >= 0) << owner << " unwired more than it wired";
+}
+
+}  // namespace crrt

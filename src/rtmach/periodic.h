@@ -1,0 +1,104 @@
+// Periodic execution with deadline tracking.
+//
+// Real-Time Mach periodic threads block until their next period boundary and
+// receive a deadline notification when they overrun. CRAS's request
+// scheduler thread is periodic with period = the server's interval time; its
+// deadline manager thread consumes overrun notifications.
+
+#ifndef SRC_RTMACH_PERIODIC_H_
+#define SRC_RTMACH_PERIODIC_H_
+
+#include <cstdint>
+
+#include "src/base/logging.h"
+#include "src/base/time_units.h"
+#include "src/sim/awaitables.h"
+#include "src/sim/engine.h"
+#include "src/sim/port.h"
+
+namespace crrt {
+
+// Reported to the deadline-notification port on every overrun.
+struct DeadlineMiss {
+  std::int64_t period_index = 0;
+  crbase::Time deadline = 0;
+  crbase::Duration overrun = 0;
+};
+
+// One tick of a periodic timer.
+struct PeriodTick {
+  std::int64_t index = 0;          // 0-based period number
+  crbase::Time scheduled_at = 0;   // nominal boundary
+  crbase::Duration lateness = 0;   // >0 when the previous body overran
+};
+
+class PeriodicTimer {
+ public:
+  // The first period boundary is `start + period`: the caller runs period 0
+  // immediately after construction, then waits.
+  PeriodicTimer(crsim::Engine& engine, crbase::Duration period,
+                crsim::Port<DeadlineMiss>* deadline_port = nullptr)
+      : engine_(&engine), period_(period), epoch_(engine.Now()), deadline_port_(deadline_port) {
+    CRAS_CHECK(period > 0);
+  }
+
+  crbase::Duration period() const { return period_; }
+  crbase::Time epoch() const { return epoch_; }
+  std::int64_t periods_elapsed() const { return next_index_; }
+  std::int64_t deadline_misses() const { return misses_; }
+
+  // Boundary of period `index` (the deadline of the work started there is
+  // the next boundary).
+  crbase::Time BoundaryOf(std::int64_t index) const { return epoch_ + index * period_; }
+
+  // `PeriodTick tick = co_await timer.NextPeriod();`
+  //
+  // Sleeps until the next period boundary. If the caller is already past it
+  // (the previous body overran its deadline), returns immediately with
+  // positive lateness and posts a DeadlineMiss — the paper's CRAS logs a
+  // warning in that case and carries on.
+  auto NextPeriod() { return TickAwaiter{this, PeriodTick{}}; }
+
+ private:
+  struct TickAwaiter {
+    PeriodicTimer* timer;
+    PeriodTick tick;
+
+    bool await_ready() {
+      tick = timer->PrepareTick();
+      return tick.lateness > 0;  // already past the boundary: no sleep
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      timer->engine_->ScheduleAt(tick.scheduled_at, [h] { h.resume(); });
+    }
+    PeriodTick await_resume() { return tick; }
+  };
+
+  PeriodTick PrepareTick() {
+    const std::int64_t index = ++next_index_;
+    const crbase::Time boundary = BoundaryOf(index);
+    const crbase::Time now = engine_->Now();
+    PeriodTick tick;
+    tick.index = index;
+    tick.scheduled_at = boundary;
+    tick.lateness = now > boundary ? now - boundary : 0;
+    if (tick.lateness > 0) {
+      ++misses_;
+      if (deadline_port_ != nullptr) {
+        deadline_port_->Send(DeadlineMiss{index, boundary, tick.lateness});
+      }
+    }
+    return tick;
+  }
+
+  crsim::Engine* engine_;
+  crbase::Duration period_;
+  crbase::Time epoch_;
+  crsim::Port<DeadlineMiss>* deadline_port_;
+  std::int64_t next_index_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace crrt
+
+#endif  // SRC_RTMACH_PERIODIC_H_

@@ -1,0 +1,144 @@
+#include "src/sim/cpu.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace crsim {
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFixedPriority:
+      return "fixed-priority";
+    case SchedPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+Cpu::Cpu(Engine& engine, SchedPolicy policy, Duration quantum)
+    : engine_(&engine), policy_(policy), quantum_(quantum) {
+  CRAS_CHECK(quantum_ > 0);
+}
+
+void Cpu::RunAwaiter::await_suspend(std::coroutine_handle<> h) {
+  cpu->Enqueue(Request{priority, work, h, cpu->next_seq_++, tag});
+}
+
+void Cpu::Boost(Tag tag, int priority) {
+  if (tag == nullptr) {
+    return;
+  }
+  for (Request& request : ready_) {
+    if (request.tag == tag && request.priority < priority) {
+      request.priority = priority;
+    }
+  }
+  if (running_ && current_.tag == tag && current_.priority < priority) {
+    current_.priority = priority;  // already on the CPU: nothing to preempt
+  }
+  // A boosted queued request may now outrank the running one.
+  if (running_ && policy_ == SchedPolicy::kFixedPriority) {
+    int best = current_.priority;
+    for (const Request& request : ready_) {
+      best = std::max(best, request.priority);
+    }
+    if (best > current_.priority) {
+      PreemptRunning();
+      if (!running_) {
+        Dispatch();
+      }
+    }
+  }
+}
+
+void Cpu::Enqueue(Request req) {
+  if (running_ && policy_ == SchedPolicy::kFixedPriority &&
+      req.priority > current_.priority) {
+    PreemptRunning();
+  }
+  ready_.push_back(std::move(req));
+  if (!running_) {
+    Dispatch();
+  }
+}
+
+Cpu::Request Cpu::PopNext() {
+  CRAS_CHECK(!ready_.empty());
+  auto it = ready_.begin();
+  if (policy_ == SchedPolicy::kFixedPriority) {
+    for (auto cand = ready_.begin(); cand != ready_.end(); ++cand) {
+      if (cand->priority > it->priority ||
+          (cand->priority == it->priority && cand->seq < it->seq)) {
+        it = cand;
+      }
+    }
+  } else {
+    // Round-robin: strict FIFO arrival order.
+    for (auto cand = ready_.begin(); cand != ready_.end(); ++cand) {
+      if (cand->seq < it->seq) {
+        it = cand;
+      }
+    }
+  }
+  Request req = std::move(*it);
+  ready_.erase(it);
+  return req;
+}
+
+void Cpu::Dispatch() {
+  CRAS_CHECK(!running_);
+  if (ready_.empty()) {
+    return;
+  }
+  current_ = PopNext();
+  running_ = true;
+  slice_start_ = engine_->Now();
+  slice_len_ = policy_ == SchedPolicy::kRoundRobin ? std::min(current_.remaining, quantum_)
+                                                   : current_.remaining;
+  const std::uint64_t gen = ++generation_;
+  engine_->ScheduleAfter(slice_len_, [this, gen] { OnSliceEnd(gen); });
+}
+
+void Cpu::PreemptRunning() {
+  CRAS_CHECK(running_);
+  const Duration elapsed = engine_->Now() - slice_start_;
+  busy_time_ += elapsed;
+  current_.remaining -= elapsed;
+  ++generation_;  // invalidate the pending slice-end event
+  running_ = false;
+  if (current_.remaining <= 0) {
+    // The preemption arrived at the exact instant the slice completed, but
+    // before its completion event fired: the request is done.
+    std::coroutine_handle<> h = current_.handle;
+    engine_->ScheduleAfter(0, [h] { h.resume(); });
+    return;
+  }
+  // Re-gets a fresh sequence number: a preempted round-robin thread goes to
+  // the back of the FIFO (its quantum is forfeit), while under fixed
+  // priority order among equals is FIFO by (re-)arrival, matching classic
+  // preemptive schedulers.
+  current_.seq = next_seq_++;
+  ready_.push_back(current_);
+}
+
+void Cpu::OnSliceEnd(std::uint64_t generation) {
+  if (generation != generation_) {
+    return;  // stale: the slice was preempted
+  }
+  CRAS_CHECK(running_);
+  busy_time_ += slice_len_;
+  current_.remaining -= slice_len_;
+  running_ = false;
+  if (current_.remaining <= 0) {
+    std::coroutine_handle<> h = current_.handle;
+    engine_->ScheduleAfter(0, [h] { h.resume(); });
+  } else {
+    // Quantum expiry under round-robin: back of the queue.
+    current_.seq = next_seq_++;
+    ready_.push_back(current_);
+  }
+  Dispatch();
+}
+
+}  // namespace crsim

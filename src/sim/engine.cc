@@ -1,0 +1,76 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crsim {
+
+EventId Engine::ScheduleAt(Time t, Callback cb) {
+  CRAS_CHECK(cb != nullptr);
+  if (t < now_) {
+    t = now_;
+  }
+  const EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+EventId Engine::ScheduleAfter(Duration d, Callback cb) {
+  if (d < 0) {
+    d = 0;
+  }
+  return ScheduleAt(now_ + d, std::move(cb));
+}
+
+void Engine::Cancel(EventId id) {
+  if (id != kInvalidEventId) {
+    cancelled_.insert(id);
+  }
+}
+
+void Engine::FireTop() {
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  CRAS_CHECK(ev.time >= now_) << "event time went backwards";
+  now_ = ev.time;
+  ++events_fired_;
+  ev.cb();
+}
+
+bool Engine::Step() {
+  while (!heap_.empty()) {
+    const bool was_cancelled = cancelled_.contains(heap_.top().id);
+    FireTop();
+    if (!was_cancelled) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::Run() {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty()) {
+    FireTop();
+  }
+}
+
+void Engine::RunUntil(Time t) {
+  CRAS_CHECK(t >= now_) << "cannot run into the past";
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty() && heap_.top().time <= t) {
+    FireTop();
+  }
+  if (!stopped_ && now_ < t) {
+    now_ = t;
+  }
+}
+
+void Engine::RunFor(Duration d) { RunUntil(now_ + d); }
+
+}  // namespace crsim

@@ -1,0 +1,97 @@
+// Discrete-event simulation engine.
+//
+// The engine owns virtual time: a monotonic nanosecond clock that advances
+// only when the next pending event fires. All simulated activity — thread
+// wakeups, disk completions, CPU slice expirations — is an event. Execution
+// is strictly deterministic: events at equal timestamps fire in scheduling
+// order (FIFO by sequence number).
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time_units.h"
+
+namespace crsim {
+
+using crbase::Duration;
+using crbase::Time;
+
+// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current virtual time.
+  Time Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute virtual time `t` (>= Now()).
+  EventId ScheduleAt(Time t, Callback cb);
+
+  // Schedules `cb` to run `d` from now. d < 0 is clamped to 0.
+  EventId ScheduleAfter(Duration d, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op (events self-expire), which keeps "cancel my timeout" call sites
+  // simple.
+  void Cancel(EventId id);
+
+  // Runs the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue is empty or Stop() is called.
+  void Run();
+
+  // Runs all events with time <= t, then sets Now() to exactly t.
+  void RunUntil(Time t);
+
+  // Runs for `d` of virtual time from Now().
+  void RunFor(Duration d);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Pops and runs the top event; assumes the queue is non-empty.
+  void FireTop();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t events_fired_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace crsim
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,89 @@
+// Message port: the IPC primitive of the simulated microkernel.
+//
+// Semantics follow Mach ports loosely: an unbounded FIFO of typed messages;
+// Send never blocks; Receive blocks until a message is available. Handoff to
+// a blocked receiver goes through the engine's event queue so that wakeup
+// order interleaves deterministically with all other simulated activity.
+
+#ifndef SRC_SIM_PORT_H_
+#define SRC_SIM_PORT_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/sim/engine.h"
+
+namespace crsim {
+
+template <typename T>
+class Port {
+ public:
+  explicit Port(Engine& engine) : engine_(&engine) {}
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Enqueues a message; if a receiver is blocked, the message is handed to
+  // it directly (bypassing the queue) and the receiver is scheduled to run.
+  void Send(T msg) {
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->value.emplace(std::move(msg));
+      std::coroutine_handle<> h = w->handle;
+      engine_->ScheduleAfter(0, [h] { h.resume(); });
+      return;
+    }
+    queue_.push_back(std::move(msg));
+  }
+
+  // Non-blocking receive.
+  bool TryReceive(T* out) {
+    if (queue_.empty()) {
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  // Blocking receive: `T msg = co_await port.Receive();`
+  auto Receive() { return ReceiveAwaiter{this, std::nullopt, nullptr}; }
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct ReceiveAwaiter {
+    Port* port;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!port->queue_.empty()) {
+        value.emplace(std::move(port->queue_.front()));
+        port->queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      port->waiters_.push_back(this);
+    }
+    T await_resume() {
+      CRAS_CHECK(value.has_value());
+      return std::move(*value);
+    }
+  };
+
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<ReceiveAwaiter*> waiters_;
+};
+
+}  // namespace crsim
+
+#endif  // SRC_SIM_PORT_H_

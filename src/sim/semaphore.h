@@ -1,0 +1,69 @@
+// Counting semaphore for simulated threads.
+
+#ifndef SRC_SIM_SEMAPHORE_H_
+#define SRC_SIM_SEMAPHORE_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "src/base/logging.h"
+#include "src/sim/engine.h"
+
+namespace crsim {
+
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial) : engine_(&engine), count_(initial) {
+    CRAS_CHECK(initial >= 0);
+  }
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // `co_await sem.Acquire();`
+  auto Acquire() { return AcquireAwaiter{this}; }
+
+  // Tries to take a unit without blocking.
+  bool TryAcquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      // Hand the unit directly to the longest waiter (FIFO fairness).
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      engine_->ScheduleAfter(0, [h] { h.resume(); });
+      return;
+    }
+    ++count_;
+  }
+
+  std::int64_t count() const { return count_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  struct AcquireAwaiter {
+    Semaphore* sem;
+    bool await_ready() const {
+      if (sem->count_ > 0) {
+        --sem->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+    void await_resume() const {}
+  };
+
+  Engine* engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace crsim
+
+#endif  // SRC_SIM_SEMAPHORE_H_

@@ -1,0 +1,120 @@
+// Coroutine task type for simulated threads.
+//
+// A Task is an eagerly-started coroutine: calling a Task-returning function
+// runs its body until the first suspension point (a Delay, port receive, CPU
+// slice, disk completion, ...). Simulated "threads" are Tasks whose
+// suspension points are mediated by the Engine, so the whole system is a
+// single real thread executing a deterministic interleaving.
+//
+// Lifetime rules:
+//  * The Task handle owns the coroutine frame while the owner holds it.
+//  * Destroying a Task whose coroutine is still suspended *detaches* it: the
+//    coroutine keeps running to completion (driven by engine events) and
+//    frees its own frame at the end. This matches "fire and forget" thread
+//    spawning.
+//  * `co_await task` suspends the awaiting coroutine until `task` finishes.
+//    At most one awaiter per task.
+
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crsim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    bool done = false;
+    bool detached = false;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        promise_type& p = h.promise();
+        p.done = true;
+        std::coroutine_handle<> next =
+            p.continuation ? p.continuation : std::coroutine_handle<>(std::noop_coroutine());
+        if (p.detached) {
+          // Nobody owns this frame anymore; reclaim it. `h` is suspended at
+          // its final suspend point, so destroy() is legal here.
+          h.destroy();
+        }
+        return next;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() {
+      // Simulated threads must not throw: an escaped exception would tear an
+      // experiment mid-flight with the engine state inconsistent.
+      CRAS_LOG(kError) << "unhandled exception escaped a simulated task";
+      std::abort();
+    }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Reset(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.promise().done; }
+
+  // Explicitly releases ownership; the coroutine continues detached.
+  void Detach() { Reset(); }
+
+  auto operator co_await() const& {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const { return !h || h.promise().done; }
+      void await_suspend(std::coroutine_handle<> cont) {
+        CRAS_CHECK(!h.promise().continuation) << "a Task supports a single awaiter";
+        h.promise().continuation = cont;
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Reset() {
+    if (!handle_) {
+      return;
+    }
+    if (handle_.promise().done) {
+      handle_.destroy();
+    } else {
+      handle_.promise().detached = true;
+    }
+    handle_ = {};
+  }
+
+  Handle handle_{};
+};
+
+}  // namespace crsim
+
+#endif  // SRC_SIM_TASK_H_

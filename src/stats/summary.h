@@ -1,0 +1,81 @@
+// Online summary statistics and fixed-bin histograms for bench output.
+
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace crstats {
+
+// Streaming min/max/mean/stddev (Welford).
+class Summary {
+ public:
+  void Add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::int64_t count() const { return n_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::int64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Percentiles over a retained sample vector (experiments here are small
+// enough to keep everything).
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+
+  // p in [0, 100]; nearest-rank.
+  double Percentile(double p) {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace crstats
+
+#endif  // SRC_STATS_SUMMARY_H_

@@ -1,0 +1,93 @@
+#include "src/stats/table.h"
+
+#include <cstdio>
+
+#include "src/base/logging.h"
+
+namespace crstats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::Cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(const char* value) { return Cell(std::string(value)); }
+
+Table& Table::Cell(std::int64_t value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Cell(std::string(buf));
+}
+
+void Table::EndRow() {
+  CRAS_CHECK(pending_.size() == headers_.size())
+      << "row has " << pending_.size() << " cells, table has " << headers_.size() << " columns";
+  rows_.push_back(std::move(pending_));
+  pending_.clear();
+}
+
+std::string Table::ToString() const {
+  std::string out;
+  if (csv_) {
+    auto append_csv = [&out](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += row[i];
+      }
+      out += '\n';
+    };
+    append_csv(headers_);
+    for (const auto& row : rows_) {
+      append_csv(row);
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        out += "  ";
+      }
+      out += row[i];
+      out.append(widths[i] - row[i].size(), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') {
+      out.pop_back();
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule.push_back(std::string(widths[i], '-'));
+  }
+  append_row(rule);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace crstats

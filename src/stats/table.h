@@ -1,0 +1,44 @@
+// Aligned-column table printer for bench output.
+//
+// Every figure/table bench prints its rows through this so the output is
+// uniform and machine-extractable (`--csv` style output via SetCsv).
+
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crstats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row-building: call Cell() once per column, then EndRow().
+  Table& Cell(const std::string& value);
+  Table& Cell(const char* value);
+  Table& Cell(std::int64_t value);
+  Table& Cell(double value, int precision = 2);
+  void EndRow();
+
+  // Renders with aligned columns to stdout (or CSV when set).
+  void Print() const;
+  void SetCsv(bool csv) { csv_ = csv; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool csv_ = false;
+};
+
+// Section banner: "== Figure 6: CRAS vs UFS throughput ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace crstats
+
+#endif  // SRC_STATS_TABLE_H_

@@ -1,0 +1,85 @@
+// Block buffer cache with LRU replacement.
+//
+// Caches disk blocks by block number. Contents are not materialized; a hit
+// means the block is resident and costs no disk I/O. This is the Unix
+// server's cache — CRAS deliberately bypasses it (its time-driven shared
+// buffers are the only caching it wants, and a page-out of cache memory is
+// exactly the kind of non-real-time dependency the paper designs away).
+
+#ifndef SRC_UFS_BUFFER_CACHE_H_
+#define SRC_UFS_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/base/logging.h"
+
+namespace crufs {
+
+class BufferCache {
+ public:
+  explicit BufferCache(std::int64_t capacity_blocks) : capacity_(capacity_blocks) {
+    CRAS_CHECK(capacity_blocks > 0);
+  }
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  // Returns true (and refreshes recency) if `block` is resident.
+  bool Lookup(std::int64_t block) {
+    auto it = index_.find(block);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  // Checks residency without touching recency or stats.
+  bool Contains(std::int64_t block) const { return index_.contains(block); }
+
+  // Makes `block` resident, evicting the least recently used if full.
+  void Insert(std::int64_t block) {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (static_cast<std::int64_t>(lru_.size()) == capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(block);
+    index_[block] = lru_.begin();
+  }
+
+  void Clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(lru_.size()); }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  std::int64_t evictions() const { return evictions_; }
+  double hit_rate() const {
+    const std::int64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  std::int64_t capacity_;
+  std::list<std::int64_t> lru_;  // front = most recent
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace crufs
+
+#endif  // SRC_UFS_BUFFER_CACHE_H_

@@ -1,0 +1,183 @@
+// An FFS-like Unix file system over the simulated disk.
+//
+// CRAS's central layout decision is to *share* the Unix file system's disk
+// layout: the same files are readable through both paths, CRAS adds no
+// on-disk format of its own, and all non-real-time functionality stays in
+// the Unix server. This module provides that layout:
+//
+//   * 8 KiB blocks over the disk's 512-byte sectors;
+//   * cylinder groups, a block bitmap per group;
+//   * inodes with a block map, created through an FFS-flavoured allocator
+//     whose contiguity is controlled by a tunefs-style `maxcontig` knob
+//     (the paper tunes it at file-system creation time so blocks are
+//     allocated "as contiguously as possible");
+//   * a flat root directory (name -> inode);
+//   * extent queries (contiguous runs) used by CRAS to build reads of up to
+//     256 KiB;
+//   * fragmentation injection, to reproduce the paper's "edited file"
+//     problem (Section 3.2).
+//
+// Simplifications, documented for reviewers: metadata (superblock, bitmaps,
+// inodes, directories) lives in memory as if permanently cached, and file
+// *contents* are never materialized — only the block addresses matter,
+// because every result in the paper is a function of I/O timing. Creating
+// and growing files allocates blocks instantly ("offline mkfs"); the timed
+// write path used by the constant-rate-writing extension goes through the
+// disk model like any other I/O.
+
+#ifndef SRC_UFS_UFS_H_
+#define SRC_UFS_UFS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/random.h"
+#include "src/base/status.h"
+#include "src/disk/geometry.h"
+
+namespace crufs {
+
+using crbase::Result;
+using crbase::Status;
+
+using InodeNumber = std::int64_t;
+inline constexpr InodeNumber kInvalidInode = -1;
+
+inline constexpr std::int64_t kBlockSize = 8 * crbase::kKiB;
+
+// A run of contiguous file-system blocks, expressed in disk sectors.
+struct Extent {
+  crdisk::Lba lba = 0;
+  std::int64_t sectors = 0;
+
+  std::int64_t bytes() const { return sectors * 512; }
+  bool operator==(const Extent&) const = default;
+};
+
+// Allocation policy knobs. The defaults model a file system tuned the way
+// the paper tunes it (`tunefs` for maximum contiguity). `StockPolicy()`
+// models an untuned FFS: short contiguous runs with rotational-delay gaps
+// and periodic cylinder-group switches, which is what makes long files
+// scatter.
+struct AllocPolicy {
+  // Longest contiguous run the allocator will build before inserting a gap.
+  std::int64_t maxcontig = 1 << 30;
+  // Blocks skipped after each full run (FFS "rotdelay" gap).
+  std::int64_t rotdelay_blocks = 0;
+  // After this many blocks of one file, move to the next cylinder group
+  // (FFS spreads large files across groups).
+  std::int64_t group_switch_blocks = 1 << 30;
+};
+
+AllocPolicy TunedPolicy();   // the paper's configuration
+AllocPolicy StockPolicy();   // untuned FFS
+
+struct Inode {
+  InodeNumber number = kInvalidInode;
+  std::string name;
+  std::int64_t size_bytes = 0;
+  std::vector<std::int64_t> block_map;  // file block index -> disk block number
+};
+
+class Ufs {
+ public:
+  struct Options {
+    crdisk::DiskGeometry geometry;
+    std::int64_t cylinders_per_group = 16;
+    AllocPolicy policy;
+  };
+
+  Ufs();
+  explicit Ufs(const Options& options);
+
+  // --- namespace ---
+  // Names are slash-separated paths ("promos/kyoto.mpg"); every parent
+  // directory must already exist (the root does). Directory metadata lives
+  // with the rest of the metadata (in memory, as if cached); only file
+  // *data* blocks occupy the disk.
+  Result<InodeNumber> Create(const std::string& path);
+  Result<InodeNumber> Lookup(const std::string& path) const;
+  Status Remove(const std::string& path);
+  const Inode& inode(InodeNumber n) const;
+
+  // --- directories ---
+  Status Mkdir(const std::string& path);
+  // Removes an empty directory.
+  Status Rmdir(const std::string& path);
+  bool DirExists(const std::string& path) const;
+  // Immediate children of `path` (files and directories), sorted; child
+  // directories carry a trailing '/'.
+  Result<std::vector<std::string>> List(const std::string& path) const;
+
+  // --- allocation ---
+  // Grows the file by `bytes`, allocating blocks under the current policy.
+  Status Append(InodeNumber n, std::int64_t bytes);
+  // Reserves `bytes` of contiguous blocks up front — the paper's suggested
+  // Unix-file-system modification enabling constant-rate writing (§4).
+  Status PreallocateContiguous(InodeNumber n, std::int64_t bytes);
+  // Reallocates every block of the file randomly across the disk, modelling
+  // a heavily edited file (§3.2 problem 3).
+  Status Fragment(InodeNumber n, crbase::Rng& rng);
+  // The paper's remedy for edited files: "rearrange media files whose data
+  // blocks are allocated randomly". Reallocates the file into the longest
+  // contiguous runs available (ideally one), restoring constant-rate
+  // retrievability. An offline administrative operation (Unix-side, not
+  // CRAS-side), so no simulated time passes.
+  Status Rearrange(InodeNumber n);
+
+  // --- geometry / extents ---
+  std::int64_t block_size() const { return kBlockSize; }
+  std::int64_t sectors_per_block() const { return sectors_per_block_; }
+  std::int64_t total_blocks() const { return total_blocks_; }
+  std::int64_t free_blocks() const { return free_blocks_; }
+  std::int64_t groups() const { return static_cast<std::int64_t>(group_free_.size()); }
+
+  // Disk sector address of file block `file_block`.
+  Result<crdisk::Lba> BlockLba(InodeNumber n, std::int64_t file_block) const;
+
+  // Contiguous runs covering [offset, offset+length) of the file, split so
+  // no run exceeds `max_bytes_per_extent` (CRAS uses 256 KiB).
+  Result<std::vector<Extent>> GetExtents(InodeNumber n, std::int64_t offset, std::int64_t length,
+                                         std::int64_t max_bytes_per_extent) const;
+
+  // Fraction of adjacent file-block pairs that are disk-contiguous; 1.0 for
+  // a perfectly laid out file.
+  double ContiguityOf(InodeNumber n) const;
+
+ private:
+  std::int64_t BlocksPerGroup() const;
+  // Finds a free block at or after `start` (wrapping); -1 when full.
+  std::int64_t FindFree(std::int64_t start) const;
+  void Take(std::int64_t block);
+  void Release(std::int64_t block);
+  // Chooses the next block for file `n` whose previous block is `prev`
+  // (-1 for the first block) and that already has `file_blocks` blocks.
+  std::int64_t ChooseBlock(InodeNumber n, std::int64_t prev, std::int64_t file_blocks,
+                           std::int64_t run_length);
+
+  Options options_;
+  std::int64_t sectors_per_block_ = 0;
+  std::int64_t total_blocks_ = 0;
+  std::int64_t free_blocks_ = 0;
+  std::vector<bool> used_;
+  std::vector<std::int64_t> group_free_;
+  std::map<std::string, InodeNumber> directory_;  // full path -> inode
+  std::set<std::string> dirs_;                     // full paths; "" is the root
+  // Deque: Inode references handed out (and held across coroutine suspension
+  // points by the Unix server) must survive later Create() calls.
+  std::deque<Inode> inodes_;
+  // Per-inode allocator cursor state.
+  struct AllocCursor {
+    std::int64_t run_length = 0;
+  };
+  std::deque<AllocCursor> cursors_;
+};
+
+}  // namespace crufs
+
+#endif  // SRC_UFS_UFS_H_

@@ -1,0 +1,68 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crbase {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = ResourceExhaustedError("admission test failed");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "admission test failed");
+  EXPECT_EQ(st.ToString(), "RESOURCE_EXHAUSTED: admission test failed");
+}
+
+TEST(Status, AllCodeNamesAreDistinct) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,        StatusCode::kNotFound,           StatusCode::kAlreadyExists,
+      StatusCode::kInvalidArgument, StatusCode::kResourceExhausted,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+  };
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+    }
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFoundError("no such stream");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailsThenPropagates() {
+  CRAS_RETURN_IF_ERROR(InvalidArgumentError("bad rate"));
+  return OkStatus();
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  Status st = FailsThenPropagates();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace crbase

@@ -1,0 +1,53 @@
+#include "src/base/time_units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+
+namespace crbase {
+namespace {
+
+TEST(TimeUnits, ConstantsCompose) {
+  EXPECT_EQ(Microseconds(1), 1000 * Nanoseconds(1));
+  EXPECT_EQ(Milliseconds(1), 1000 * Microseconds(1));
+  EXPECT_EQ(Seconds(1), 1000 * Milliseconds(1));
+  EXPECT_EQ(Seconds(2) + Milliseconds(500), SecondsF(2.5));
+}
+
+TEST(TimeUnits, FloatRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(SecondsF(0.75)), 0.75);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(MillisecondsF(8.33)), 8.33);
+  EXPECT_EQ(MillisecondsF(0.0005), 500);  // rounds to nanoseconds
+}
+
+TEST(TimeUnits, FormatAdaptsUnit) {
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000s");
+  EXPECT_EQ(FormatDuration(Milliseconds(17)), "17.000ms");
+  EXPECT_EQ(FormatDuration(Microseconds(3)), "3.000us");
+  EXPECT_EQ(FormatDuration(Nanoseconds(42)), "42ns");
+}
+
+TEST(Bytes, RateConversions) {
+  // 1.5 Mb/s MPEG1 stream = 187500 bytes/sec.
+  EXPECT_DOUBLE_EQ(MbpsToBytesPerSec(1.5), 187500.0);
+  EXPECT_DOUBLE_EQ(BytesPerSecToMbps(187500.0), 1.5);
+}
+
+TEST(Bytes, TransferTimeMatchesPaperDisk) {
+  // 256 KiB at 6.5 MB/s is a little over 40 ms.
+  const Duration t = TransferTime(256 * kKiB, 6.5e6);
+  EXPECT_NEAR(ToMilliseconds(t), 40.3, 0.2);
+}
+
+TEST(Bytes, BytesInDuration) {
+  EXPECT_EQ(BytesInDuration(MbpsToBytesPerSec(1.5), Milliseconds(500)), 93750);
+}
+
+TEST(Bytes, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(256 * kKiB), "256.0KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB / 2), "1.50MiB");
+}
+
+}  // namespace
+}  // namespace crbase

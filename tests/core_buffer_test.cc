@@ -1,0 +1,128 @@
+#include "src/core/time_driven_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/time_units.h"
+
+namespace cras {
+namespace {
+
+using crbase::Milliseconds;
+using crbase::Seconds;
+
+BufferedChunk MakeChunk(std::int64_t index, Time timestamp, Duration duration,
+                        std::int64_t size) {
+  BufferedChunk c;
+  c.chunk_index = index;
+  c.timestamp = timestamp;
+  c.duration = duration;
+  c.size = size;
+  return c;
+}
+
+TEST(TimeDrivenBuffer, PutThenGetCoveringTime) {
+  TimeDrivenBuffer buffer(1 << 20, Milliseconds(100));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 6250), /*logical_now=*/-Seconds(1));
+  buffer.Put(MakeChunk(1, Milliseconds(33), Milliseconds(33), 6250), -Seconds(1));
+
+  auto hit = buffer.Get(Milliseconds(10));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->chunk_index, 0);
+
+  hit = buffer.Get(Milliseconds(40));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->chunk_index, 1);
+
+  EXPECT_FALSE(buffer.Get(Milliseconds(70)).has_value());  // past resident data
+  EXPECT_FALSE(buffer.Get(-Milliseconds(1)).has_value());  // before stream start
+  EXPECT_EQ(buffer.stats().get_hits, 2);
+  EXPECT_EQ(buffer.stats().get_misses, 2);
+}
+
+TEST(TimeDrivenBuffer, DiscardsObsoleteByJitterAllowance) {
+  TimeDrivenBuffer buffer(1 << 20, /*J=*/Milliseconds(50));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), 0);
+  buffer.Put(MakeChunk(1, Milliseconds(33), Milliseconds(33), 1000), 0);
+
+  // logical_now = 80ms: discard boundary is 30ms; chunk 0 ends at 33 > 30,
+  // so both survive.
+  buffer.DiscardObsolete(Milliseconds(80));
+  EXPECT_EQ(buffer.resident_chunks(), 2u);
+
+  // logical_now = 120ms: boundary 70ms; chunk 0 (ends 33) goes, chunk 1
+  // (ends 66) goes too.
+  buffer.DiscardObsolete(Milliseconds(120));
+  EXPECT_EQ(buffer.resident_chunks(), 0u);
+  EXPECT_EQ(buffer.stats().discarded_obsolete, 2);
+  EXPECT_EQ(buffer.resident_bytes(), 0);
+}
+
+TEST(TimeDrivenBuffer, RejectsChunkAlreadyObsoleteOnArrival) {
+  TimeDrivenBuffer buffer(1 << 20, Milliseconds(10));
+  // Chunk's window [0, 33) closed long before logical_now = 1 s.
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), Seconds(1));
+  EXPECT_EQ(buffer.resident_chunks(), 0u);
+  EXPECT_EQ(buffer.stats().rejected_late, 1);
+  EXPECT_EQ(buffer.stats().puts, 0);
+}
+
+TEST(TimeDrivenBuffer, JitterAllowanceKeepsRecentPast) {
+  TimeDrivenBuffer buffer(1 << 20, /*J=*/Milliseconds(100));
+  // Ends 33 ms before logical_now but within J: accepted (a client running
+  // slightly behind can still fetch it).
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), Milliseconds(66));
+  EXPECT_EQ(buffer.resident_chunks(), 1u);
+}
+
+TEST(TimeDrivenBuffer, OverflowEvictsOldest) {
+  TimeDrivenBuffer buffer(/*capacity=*/2500, Milliseconds(10));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), -Seconds(1));
+  buffer.Put(MakeChunk(1, Milliseconds(33), Milliseconds(33), 1000), -Seconds(1));
+  buffer.Put(MakeChunk(2, Milliseconds(66), Milliseconds(33), 1000), -Seconds(1));
+  EXPECT_EQ(buffer.resident_chunks(), 2u);
+  EXPECT_EQ(buffer.stats().overflow_evictions, 1);
+  EXPECT_FALSE(buffer.Get(Milliseconds(10)).has_value());  // oldest evicted
+  EXPECT_TRUE(buffer.Get(Milliseconds(70)).has_value());
+}
+
+TEST(TimeDrivenBuffer, DuplicatePutReplaces) {
+  TimeDrivenBuffer buffer(1 << 20, Milliseconds(10));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), -Seconds(1));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 2000), -Seconds(1));
+  EXPECT_EQ(buffer.resident_chunks(), 1u);
+  EXPECT_EQ(buffer.resident_bytes(), 2000);
+}
+
+TEST(TimeDrivenBuffer, ClearDropsEverything) {
+  TimeDrivenBuffer buffer(1 << 20, Milliseconds(10));
+  buffer.Put(MakeChunk(0, 0, Milliseconds(33), 1000), -Seconds(1));
+  buffer.Clear();
+  EXPECT_EQ(buffer.resident_chunks(), 0u);
+  EXPECT_EQ(buffer.resident_bytes(), 0);
+}
+
+TEST(TimeDrivenBuffer, ClientSlowerThanStreamNeverOverflows) {
+  // The paper's core claim for the time-driven design: a client consuming
+  // at a third of the rate doesn't need feedback — data ages out, the
+  // buffer never overflows, and fresh data keeps landing.
+  const Duration frame = Milliseconds(33);
+  // Capacity = B_i = 2*A_i: two intervals' worth (32 frames), as admission
+  // would size it.
+  TimeDrivenBuffer buffer(/*capacity=*/32 * 6250, /*J=*/Milliseconds(100));
+  Time logical = 0;
+  std::int64_t produced = 0;
+  for (int round = 0; round < 100; ++round) {
+    // Server delivers ~15 frames per 0.5 s interval while the logical clock
+    // advances in lockstep.
+    for (int i = 0; i < 15; ++i) {
+      buffer.Put(MakeChunk(produced, produced * frame, frame, 6250), logical);
+      ++produced;
+    }
+    logical += 15 * frame;
+  }
+  EXPECT_EQ(buffer.stats().overflow_evictions, 0);
+  EXPECT_EQ(buffer.stats().rejected_late, 0);
+}
+
+}  // namespace
+}  // namespace cras

@@ -1,0 +1,125 @@
+// Geometry and seek-model unit tests.
+
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+#include "src/base/time_units.h"
+#include "src/disk/geometry.h"
+#include "src/disk/seek_model.h"
+
+namespace crdisk {
+namespace {
+
+using crbase::Milliseconds;
+using crbase::MillisecondsF;
+using crbase::ToMilliseconds;
+
+TEST(Geometry, St32550nMatchesPaperDisk) {
+  const DiskGeometry geo = St32550nGeometry();
+  // ~2 GB capacity.
+  EXPECT_NEAR(static_cast<double>(geo.capacity_bytes()) / crbase::kGiB, 2.0, 0.1);
+  // 7200 rpm -> 8.33 ms rotation (Table 4: T_rot).
+  EXPECT_NEAR(ToMilliseconds(geo.rotation_time()), 8.33, 0.01);
+  // ~6.5 MB/s media rate (Table 4: D).
+  EXPECT_NEAR(geo.transfer_rate() / 1e6, 6.5, 0.2);
+}
+
+TEST(Geometry, LbaMapping) {
+  const DiskGeometry geo = St32550nGeometry();
+  EXPECT_EQ(geo.CylinderOf(0), 0);
+  EXPECT_EQ(geo.CylinderOf(geo.sectors_per_cylinder() - 1), 0);
+  EXPECT_EQ(geo.CylinderOf(geo.sectors_per_cylinder()), 1);
+  EXPECT_EQ(geo.CylinderOf(geo.total_sectors() - 1), geo.cylinders - 1);
+}
+
+TEST(Geometry, AngleWrapsPerTrack) {
+  const DiskGeometry geo = St32550nGeometry();
+  EXPECT_DOUBLE_EQ(geo.AngleOf(0), 0.0);
+  EXPECT_DOUBLE_EQ(geo.AngleOf(geo.sectors_per_track), 0.0);  // next track starts at angle 0
+  EXPECT_GT(geo.AngleOf(geo.sectors_per_track / 2), 0.4);
+  EXPECT_LT(geo.AngleOf(geo.sectors_per_track - 1), 1.0);
+}
+
+TEST(PhysicalSeekModel, ZeroDistanceIsFree) {
+  PhysicalSeekModel model;
+  EXPECT_EQ(model.SeekTime(0), 0);
+  EXPECT_EQ(model.SeekTime(-5), 0);
+}
+
+TEST(PhysicalSeekModel, MonotonicInDistance) {
+  PhysicalSeekModel model;
+  Duration prev = 0;
+  for (std::int64_t x : {1, 2, 5, 10, 50, 100, 399, 400, 401, 1000, 2000, 3510}) {
+    const Duration t = model.SeekTime(x);
+    EXPECT_GT(t, prev) << "at distance " << x;
+    prev = t;
+  }
+}
+
+TEST(PhysicalSeekModel, FullStrokeMatchesTable4Max) {
+  PhysicalSeekModel model;
+  EXPECT_NEAR(ToMilliseconds(model.SeekTime(3510)), 17.0, 0.05);
+}
+
+TEST(PhysicalSeekModel, ContinuousAtCrossover) {
+  PhysicalSeekModel model;
+  const Duration below = model.SeekTime(399);
+  const Duration at = model.SeekTime(400);
+  EXPECT_LT(at - below, Milliseconds(1));
+}
+
+TEST(LinearSeekModel, EndpointsAreExact) {
+  LinearSeekModel model(Milliseconds(4), Milliseconds(17), 3510);
+  EXPECT_EQ(model.SeekTime(0), 0);
+  // t(x) = beta + alpha*x; alpha = 13ms/3510cyl.
+  EXPECT_NEAR(ToMilliseconds(model.SeekTime(3510)), 17.0, 0.001);
+  EXPECT_NEAR(ToMilliseconds(model.SeekTime(1)), 4.0037, 0.001);
+}
+
+TEST(LinearSeekModel, LinearApproxOverestimatesShortSeeks) {
+  // The paper's admission pessimism at small stream counts comes from the
+  // linear model over-charging short seeks vs the physical curve.
+  PhysicalSeekModel physical;
+  LinearSeekModel linear(Milliseconds(4), Milliseconds(17), 3510);
+  for (std::int64_t x : {1, 5, 10, 20, 50}) {
+    EXPECT_GT(linear.SeekTime(x), physical.SeekTime(x)) << "at distance " << x;
+  }
+}
+
+TEST(FitLinearSeekModel, RecoversALine) {
+  // Samples generated from an exact line must fit back to it.
+  std::vector<SeekSample> samples;
+  const double alpha = 3000.0;  // ns per cylinder
+  const Duration beta = Milliseconds(4);
+  for (std::int64_t x = 100; x <= 3500; x += 200) {
+    samples.push_back({x, beta + static_cast<Duration>(alpha * static_cast<double>(x))});
+  }
+  const LinearSeekModel fit = FitLinearSeekModel(samples, 3510);
+  EXPECT_NEAR(ToMilliseconds(fit.t_seek_min()), 4.0, 0.01);
+  EXPECT_NEAR(ToMilliseconds(fit.t_seek_max()), 4.0 + 3510 * 3000.0 / 1e6, 0.05);
+}
+
+TEST(FitLinearSeekModel, FitOfPhysicalCurveBracketsTable4) {
+  // Fitting the physical curve the way the authors fitted their
+  // measurements should land near Table 4's 4 ms / 17 ms.
+  PhysicalSeekModel physical;
+  std::vector<SeekSample> samples;
+  for (std::int64_t x = 10; x <= 3510; x += 50) {
+    samples.push_back({x, physical.SeekTime(x)});
+  }
+  const LinearSeekModel fit = FitLinearSeekModel(samples, 3510);
+  EXPECT_NEAR(ToMilliseconds(fit.t_seek_min()), 4.0, 1.5);
+  EXPECT_NEAR(ToMilliseconds(fit.t_seek_max()), 17.0, 1.5);
+}
+
+TEST(FitLinearSeekModel, ClampsNegativeIntercept) {
+  std::vector<SeekSample> samples = {
+      {100, Milliseconds(1)},
+      {3500, Milliseconds(30)},
+  };
+  const LinearSeekModel fit = FitLinearSeekModel(samples, 3510);
+  EXPECT_GE(fit.t_seek_min(), 0);
+}
+
+}  // namespace
+}  // namespace crdisk

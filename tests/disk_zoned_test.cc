@@ -1,0 +1,108 @@
+// Zoned-bit-recording geometry tests.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/device.h"
+#include "src/disk/geometry.h"
+#include "src/sim/engine.h"
+
+namespace crdisk {
+namespace {
+
+TEST(ZonedGeometry, UniformDefaultIsNotZoned) {
+  const DiskGeometry geo = St32550nGeometry();
+  EXPECT_FALSE(geo.zoned());
+  EXPECT_EQ(geo.SectorsPerTrackAt(0), geo.sectors_per_track);
+  EXPECT_EQ(geo.SectorsPerTrackAt(geo.cylinders - 1), geo.sectors_per_track);
+  EXPECT_DOUBLE_EQ(geo.MinTransferRate(), geo.transfer_rate());
+}
+
+TEST(ZonedGeometry, ZoneLookupByCylinder) {
+  const DiskGeometry geo = St32550nZonedGeometry();
+  ASSERT_TRUE(geo.zoned());
+  EXPECT_EQ(geo.SectorsPerTrackAt(0), 126);
+  EXPECT_EQ(geo.SectorsPerTrackAt(877), 126);
+  EXPECT_EQ(geo.SectorsPerTrackAt(878), 114);
+  EXPECT_EQ(geo.SectorsPerTrackAt(1756), 102);
+  EXPECT_EQ(geo.SectorsPerTrackAt(3509), 90);
+}
+
+TEST(ZonedGeometry, CapacityNearTwoGigabytes) {
+  const DiskGeometry geo = St32550nZonedGeometry();
+  EXPECT_NEAR(static_cast<double>(geo.capacity_bytes()) / 1e9, 2.1, 0.15);
+}
+
+TEST(ZonedGeometry, OuterZoneFasterThanInner) {
+  const DiskGeometry geo = St32550nZonedGeometry();
+  EXPECT_NEAR(geo.TransferRateAt(0) / 1e6, 7.74, 0.05);
+  EXPECT_NEAR(geo.MinTransferRate() / 1e6, 5.53, 0.05);
+  EXPECT_GT(geo.transfer_rate(), geo.MinTransferRate());
+  // Average across zones stays near the uniform calibration.
+  const double average = static_cast<double>(geo.capacity_bytes()) /
+                         static_cast<double>(geo.cylinders * geo.heads) /
+                         crbase::ToSeconds(geo.rotation_time());
+  EXPECT_NEAR(average / 1e6, 6.6, 0.3);
+}
+
+TEST(ZonedGeometry, CylinderOfRoundTripsZoneBoundaries) {
+  const DiskGeometry geo = St32550nZonedGeometry();
+  // First sector of every zone maps to that zone's first cylinder.
+  std::int64_t lba = 0;
+  std::int64_t first_cylinder = 0;
+  for (const DiskZone& zone : geo.zones) {
+    EXPECT_EQ(geo.CylinderOf(lba), first_cylinder);
+    EXPECT_EQ(geo.CylinderOf(lba + zone.cylinders * geo.heads * zone.sectors_per_track - 1),
+              first_cylinder + zone.cylinders - 1);
+    lba += zone.cylinders * geo.heads * zone.sectors_per_track;
+    first_cylinder += zone.cylinders;
+  }
+  EXPECT_EQ(lba, geo.total_sectors());
+}
+
+TEST(ZonedGeometry, AngleUsesZoneTrackLength) {
+  const DiskGeometry geo = St32550nZonedGeometry();
+  // Mid-track in the outer zone: sector 63 of 126.
+  EXPECT_DOUBLE_EQ(geo.AngleOf(63), 0.5);
+  // Mid-track in the innermost zone: sector 45 of 90.
+  std::int64_t inner_start = 0;
+  for (std::size_t z = 0; z + 1 < geo.zones.size(); ++z) {
+    inner_start += geo.zones[z].cylinders * geo.heads * geo.zones[z].sectors_per_track;
+  }
+  EXPECT_DOUBLE_EQ(geo.AngleOf(inner_start + 45), 0.5);
+}
+
+TEST(ZonedDevice, TransferTimeDependsOnZone) {
+  crsim::Engine engine;
+  DiskDevice::Options options;
+  options.geometry = St32550nZonedGeometry();
+  DiskDevice device(engine, options);
+  const DiskGeometry& geo = device.geometry();
+
+  auto read_rate = [&](Lba lba) {
+    DiskCompletion result;
+    DiskRequest req;
+    req.lba = lba;
+    req.sectors = 512;  // 256 KiB
+    req.on_complete = [&result](const DiskCompletion& c) { result = c; };
+    device.StartIo(req, 1, engine.Now());
+    engine.Run();
+    return static_cast<double>(result.bytes()) / crbase::ToSeconds(result.transfer_time);
+  };
+
+  const double outer = read_rate(0);
+  const double inner = read_rate(geo.total_sectors() - 1024);
+  EXPECT_NEAR(outer / 1e6, 7.74, 0.1);
+  EXPECT_NEAR(inner / 1e6, 5.53, 0.1);
+}
+
+TEST(ZonedGeometry, ValidateRejectsBadConfigurations) {
+  DiskGeometry geo = St32550nZonedGeometry();
+  geo.zones[1].sectors_per_track = 200;  // denser than the outer zone
+  EXPECT_DEATH(geo.Validate(), "outermost");
+  DiskGeometry short_geo = St32550nZonedGeometry();
+  short_geo.zones.pop_back();
+  EXPECT_DEATH(short_geo.Validate(), "sum");
+}
+
+}  // namespace
+}  // namespace crdisk

@@ -1,0 +1,97 @@
+// Control-file serialization and parsing (§2.5).
+
+#include "src/media/control_file.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/media/media_file.h"
+
+namespace crmedia {
+namespace {
+
+using crbase::Seconds;
+
+TEST(ControlFile, RoundTripsCbrIndex) {
+  const ChunkIndex original = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(3));
+  const std::string text = SerializeControlFile(original);
+  auto parsed = ParseControlFile(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->count(), original.count());
+  for (std::size_t i = 0; i < original.count(); ++i) {
+    EXPECT_EQ(parsed->at(i).offset, original.at(i).offset);
+    EXPECT_EQ(parsed->at(i).size, original.at(i).size);
+    EXPECT_EQ(parsed->at(i).timestamp, original.at(i).timestamp);
+    EXPECT_EQ(parsed->at(i).duration, original.at(i).duration);
+  }
+}
+
+TEST(ControlFile, RoundTripsVbrIndex) {
+  crbase::Rng rng(77);
+  const ChunkIndex original = BuildVbrIndex(kMpeg1BytesPerSec, 0.5, 30.0, Seconds(2), rng);
+  auto parsed = ParseControlFile(SerializeControlFile(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->total_bytes(), original.total_bytes());
+  EXPECT_EQ(parsed->total_duration(), original.total_duration());
+  EXPECT_EQ(parsed->max_chunk_bytes(), original.max_chunk_bytes());
+}
+
+TEST(ControlFile, HeaderStartsWithMagic) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(1));
+  const std::string text = SerializeControlFile(index);
+  EXPECT_EQ(text.rfind("CRASCTL 1 30\n", 0), 0u);
+}
+
+TEST(ControlFile, RejectsEmpty) {
+  EXPECT_FALSE(ParseControlFile("").ok());
+}
+
+TEST(ControlFile, RejectsBadMagic) {
+  auto result = ParseControlFile("NOTCRAS 1 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("bad header"), std::string::npos);
+}
+
+TEST(ControlFile, RejectsUnsupportedVersion) {
+  auto result = ParseControlFile("CRASCTL 9 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST(ControlFile, RejectsTruncatedBody) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(1));
+  std::string text = SerializeControlFile(index);
+  text.resize(text.size() / 2);
+  // Either truncated mid-line (parse failure) or missing lines.
+  EXPECT_FALSE(ParseControlFile(text).ok());
+}
+
+TEST(ControlFile, RejectsNonNumericFields) {
+  EXPECT_FALSE(ParseControlFile("CRASCTL 1 1\n0 abc 0 100\n").ok());
+}
+
+TEST(ControlFile, RejectsNonPositiveSizeOrDuration) {
+  EXPECT_FALSE(ParseControlFile("CRASCTL 1 1\n0 0 0 100\n").ok());
+  EXPECT_FALSE(ParseControlFile("CRASCTL 1 1\n0 100 0 0\n").ok());
+}
+
+TEST(ControlFile, RejectsBrokenOffsetChain) {
+  auto result = ParseControlFile("CRASCTL 1 2\n0 100 0 50\n150 100 50 50\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cumulative-sum"), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ControlFile, RejectsBrokenTimestampChain) {
+  EXPECT_FALSE(ParseControlFile("CRASCTL 1 2\n0 100 0 50\n100 100 60 50\n").ok());
+}
+
+TEST(ControlFile, AcceptsMinimalValidFile) {
+  auto result = ParseControlFile("CRASCTL 1 1\n0 100 0 50\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count(), 1u);
+  EXPECT_EQ(result->at(0).size, 100);
+}
+
+}  // namespace
+}  // namespace crmedia

@@ -1,0 +1,178 @@
+// Chunk index, stream builders, media files, and load generators.
+
+#include "src/media/chunk_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+#include "src/media/load.h"
+#include "src/media/media_file.h"
+
+namespace crmedia {
+namespace {
+
+using crbase::Milliseconds;
+using crbase::Seconds;
+
+TEST(ChunkIndex, CbrBuilderProducesUniformFrames) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(10));
+  EXPECT_EQ(index.count(), 300u);
+  EXPECT_EQ(index.at(0).size, 6250);  // 187500 B/s / 30 fps
+  EXPECT_EQ(index.at(0).duration, crbase::SecondsF(1.0 / 30.0));
+  EXPECT_NEAR(index.average_rate(), kMpeg1BytesPerSec, 1.0);
+  EXPECT_EQ(index.max_chunk_bytes(), 6250);
+}
+
+TEST(ChunkIndex, TimestampsAreCumulativeDurations) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(1));
+  Time expected = 0;
+  for (const Chunk& c : index.chunks()) {
+    EXPECT_EQ(c.timestamp, expected);
+    expected += c.duration;
+  }
+}
+
+TEST(ChunkIndex, OffsetsAreBackToBack) {
+  crbase::Rng rng(3);
+  const ChunkIndex index = BuildVbrIndex(kMpeg1BytesPerSec, 0.4, 30.0, Seconds(5), rng);
+  std::int64_t expected = 0;
+  for (const Chunk& c : index.chunks()) {
+    EXPECT_EQ(c.offset, expected);
+    expected += c.size;
+  }
+  EXPECT_EQ(index.total_bytes(), expected);
+}
+
+TEST(ChunkIndex, VbrWorstRateExceedsAverage) {
+  crbase::Rng rng(17);
+  const ChunkIndex index = BuildVbrIndex(kMpeg1BytesPerSec, 0.5, 30.0, Seconds(30), rng);
+  const double avg = index.average_rate();
+  const double worst = index.WorstRate(Milliseconds(500));
+  EXPECT_NEAR(avg, kMpeg1BytesPerSec, kMpeg1BytesPerSec * 0.1);
+  EXPECT_GT(worst, avg * 1.1);  // the §3.2 buffer-waste gap
+}
+
+TEST(ChunkIndex, CbrWorstRateEqualsAverage) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(10));
+  EXPECT_NEAR(index.WorstRate(Seconds(1)), index.average_rate(),
+              index.average_rate() * 0.05);
+}
+
+TEST(ChunkIndex, FindByTime) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(1));
+  EXPECT_EQ(index.FindByTime(-1), -1);
+  EXPECT_EQ(index.FindByTime(0), 0);
+  const Duration frame = index.at(0).duration;
+  EXPECT_EQ(index.FindByTime(frame - 1), 0);
+  EXPECT_EQ(index.FindByTime(frame), 1);
+  EXPECT_EQ(index.FindByTime(frame * 10 + frame / 2), 10);
+  EXPECT_EQ(index.FindByTime(Seconds(100)), 29);  // clamped to last
+}
+
+TEST(ChunkIndex, RangeByTimeCoversHalfOpenWindow) {
+  const ChunkIndex index = BuildCbrIndex(kMpeg1BytesPerSec, 30.0, Seconds(2));
+  const Duration frame = index.at(0).duration;
+  // Exactly frames [30, 60): the second second of video.
+  auto [first, last] = index.RangeByTime(Seconds(1), Seconds(2));
+  EXPECT_EQ(first, 30);
+  EXPECT_EQ(last, 60);
+  // A window inside one frame returns just that frame.
+  auto [f2, l2] = index.RangeByTime(frame + 1, frame + 2);
+  EXPECT_EQ(f2, 1);
+  EXPECT_EQ(l2, 2);
+  // Empty window.
+  auto [f3, l3] = index.RangeByTime(Seconds(1), Seconds(1));
+  EXPECT_EQ(f3, l3);
+}
+
+TEST(MediaFile, WriteCreatesFileOfIndexSize) {
+  crufs::Ufs fs;
+  auto file = WriteMpeg1File(fs, "movie.mpg", Seconds(30));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(fs.inode(file->inode).size_bytes, file->index.total_bytes());
+  EXPECT_NEAR(static_cast<double>(file->index.total_bytes()), 187500.0 * 30, 187500.0);
+  EXPECT_DOUBLE_EQ(fs.ContiguityOf(file->inode), 1.0);
+}
+
+TEST(MediaFile, DuplicateNameFails) {
+  crufs::Ufs fs;
+  ASSERT_TRUE(WriteMpeg1File(fs, "movie.mpg", Seconds(1)).ok());
+  EXPECT_FALSE(WriteMpeg1File(fs, "movie.mpg", Seconds(1)).ok());
+}
+
+TEST(MediaFile, Mpeg2IsFourTimesMpeg1) {
+  crufs::Ufs fs;
+  auto m1 = WriteMpeg1File(fs, "m1", Seconds(10));
+  auto m2 = WriteMpeg2File(fs, "m2", Seconds(10));
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_NEAR(static_cast<double>(m2->index.total_bytes()) /
+                  static_cast<double>(m1->index.total_bytes()),
+              4.0, 0.01);
+}
+
+struct LoadRig {
+  crrt::Kernel kernel;
+  crdisk::DiskDevice device;
+  crdisk::DiskDriver driver;
+  crufs::Ufs fs;
+  crufs::UnixServer server;
+
+  LoadRig()
+      : device(kernel.engine(),
+               [] {
+                 crdisk::DiskDevice::Options o;
+                 o.geometry = crdisk::St32550nGeometry();
+                 return o;
+               }()),
+        driver(kernel.engine(), device),
+        server(kernel, driver, fs) {
+    server.Start();
+  }
+};
+
+TEST(Load, CatReadsSequentiallyForever) {
+  LoadRig rig;
+  auto file = WriteMpeg1File(rig.fs, "big", Seconds(60));
+  ASSERT_TRUE(file.ok());
+  crsim::Task cat = SpawnCat(rig.kernel, rig.server, file->inode, "cat1");
+  rig.kernel.engine().RunFor(Seconds(5));
+  EXPECT_FALSE(cat.done());
+  EXPECT_GT(rig.server.stats().requests, 100);
+  EXPECT_GT(rig.server.stats().disk_reads, 10);
+}
+
+TEST(Load, CatWrapsAtEof) {
+  LoadRig rig;
+  auto file = WriteMpeg1File(rig.fs, "small", Seconds(1));  // ~187 KB
+  ASSERT_TRUE(file.ok());
+  crsim::Task cat = SpawnCat(rig.kernel, rig.server, file->inode, "cat1");
+  rig.kernel.engine().RunFor(Seconds(5));
+  // Reads far exceed one pass over the file.
+  EXPECT_GT(rig.server.stats().blocks_requested * rig.fs.block_size(),
+            3 * rig.fs.inode(file->inode).size_bytes);
+}
+
+TEST(Load, CpuHogSaturatesTheCpu) {
+  LoadRig rig;
+  crsim::Task hog = SpawnCpuHog(rig.kernel, "hog");
+  rig.kernel.engine().RunFor(Seconds(2));
+  EXPECT_EQ(rig.kernel.cpu().busy_time(), Seconds(2));
+}
+
+TEST(Load, HigherPriorityWorkStillRunsUnderFixedPriority) {
+  LoadRig rig;
+  crsim::Task hog = SpawnCpuHog(rig.kernel, "hog");
+  crbase::Time finished = 0;
+  crsim::Task rt = rig.kernel.Spawn("rt", crrt::kPriorityServer,
+                                    [&](crrt::ThreadContext& ctx) -> crsim::Task {
+                                      co_await ctx.Sleep(Milliseconds(100));
+                                      co_await ctx.Compute(Milliseconds(10));
+                                      finished = ctx.Now();
+                                    });
+  rig.kernel.engine().RunFor(Seconds(1));
+  // Preempts the hog: finishes right at 110 ms despite full CPU load.
+  EXPECT_EQ(finished, Milliseconds(110));
+}
+
+}  // namespace
+}  // namespace crmedia

@@ -1,0 +1,211 @@
+// Network link and NPS stream-transmission tests.
+
+#include "src/net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/core/testbed.h"
+#include "src/media/media_file.h"
+#include "src/net/nps.h"
+
+namespace crnet {
+namespace {
+
+using crbase::Milliseconds;
+using crbase::Seconds;
+
+Link::Options FastLink() {
+  Link::Options options;
+  options.bandwidth_bytes_per_sec = 10e6 / 8.0;
+  options.propagation_delay = Milliseconds(1);
+  options.per_packet_overhead = 0;  // simplifies arithmetic in unit tests
+  return options;
+}
+
+TEST(Link, SinglePacketLatencyIsWirePlusPropagation) {
+  crsim::Engine engine;
+  Link link(engine, FastLink());
+  crbase::Time delivered_at = -1;
+  // 1250 bytes at 1.25 MB/s = 1 ms wire time, +1 ms propagation.
+  ASSERT_TRUE(link.Send(1250, [&] { delivered_at = engine.Now(); }));
+  engine.Run();
+  EXPECT_EQ(delivered_at, Milliseconds(2));
+  EXPECT_EQ(link.stats().packets_delivered, 1);
+  EXPECT_EQ(link.stats().bytes_delivered, 1250);
+}
+
+TEST(Link, PacketsSerializeFifo) {
+  crsim::Engine engine;
+  Link link(engine, FastLink());
+  std::vector<int> order;
+  std::vector<crbase::Time> times;
+  for (int i = 0; i < 3; ++i) {
+    link.Send(1250, [&, i] {
+      order.push_back(i);
+      times.push_back(engine.Now());
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  // Serialization back to back: deliveries at 2, 3, 4 ms.
+  EXPECT_EQ(times[0], Milliseconds(2));
+  EXPECT_EQ(times[1], Milliseconds(3));
+  EXPECT_EQ(times[2], Milliseconds(4));
+}
+
+TEST(Link, ThroughputMatchesBandwidth) {
+  crsim::Engine engine;
+  Link link(engine, FastLink());
+  std::int64_t delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    link.Send(1250, [&] { delivered += 1250; });
+  }
+  engine.RunUntil(Seconds(1) + Milliseconds(1));
+  // 1.25 MB/s for 1 second.
+  EXPECT_NEAR(static_cast<double>(delivered), 1.25e6, 2500.0);
+}
+
+TEST(Link, OverheadReducesGoodput) {
+  crsim::Engine engine;
+  Link::Options options = FastLink();
+  options.per_packet_overhead = 1250;  // 50% efficiency for 1250-byte packets
+  Link link(engine, options);
+  std::int64_t delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    link.Send(1250, [&] { delivered += 1250; });
+  }
+  engine.RunUntil(Seconds(1) + Milliseconds(1));
+  EXPECT_NEAR(static_cast<double>(delivered), 0.625e6, 2500.0);
+}
+
+TEST(Link, QueueLimitDrops) {
+  crsim::Engine engine;
+  Link::Options options = FastLink();
+  options.queue_limit = 2;
+  Link link(engine, options);
+  int delivered = 0;
+  // First enters service immediately; next two queue; the rest drop.
+  for (int i = 0; i < 6; ++i) {
+    link.Send(1250, [&] { ++delivered; });
+  }
+  engine.Run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(link.stats().packets_dropped, 3);
+}
+
+TEST(Link, UtilizationTracksBusyTime) {
+  crsim::Engine engine;
+  Link link(engine, FastLink());
+  link.Send(12500, nullptr);  // 10 ms of wire time
+  engine.RunUntil(Milliseconds(100));
+  EXPECT_NEAR(link.Utilization(), 0.1, 0.001);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: CRAS -> NPS -> link -> remote buffer, two hosts on one
+// timeline.
+// ---------------------------------------------------------------------------
+
+struct QtPlayRig {
+  cras::Testbed server_host;        // qtserver: CRAS + NPS sender
+  crrt::Kernel client_host;         // qtclient: own CPU, shared timeline
+  Link ethernet;
+  NpsReceiver receiver;
+  NpsSender sender;
+
+  QtPlayRig()
+      : client_host(server_host.engine(), crrt::Kernel::Options{}),
+        ethernet(server_host.engine()),
+        receiver(client_host),
+        sender(server_host.kernel, server_host.cras_server, ethernet, receiver) {
+    server_host.StartServers();
+  }
+};
+
+TEST(Nps, StreamsAMovieAcrossTheLink) {
+  QtPlayRig rig;
+  auto movie = crmedia::WriteMpeg1File(rig.server_host.fs, "movie", Seconds(6));
+  ASSERT_TRUE(movie.ok());
+
+  cras::SessionId session = cras::kInvalidSession;
+  crsim::Task opener = rig.server_host.kernel.Spawn(
+      "qtserver", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        cras::OpenParams params;
+        params.inode = movie->inode;
+        params.index = movie->index;
+        auto opened = co_await rig.server_host.cras_server.Open(std::move(params));
+        CRAS_CHECK(opened.ok());
+        session = *opened;
+        (void)co_await rig.server_host.cras_server.StartStream(
+            session, rig.server_host.cras_server.SuggestedInitialDelay());
+      });
+  rig.server_host.engine().RunFor(Milliseconds(50));
+  ASSERT_NE(session, cras::kInvalidSession);
+  crsim::Task sender_task = rig.sender.Start(session, &movie->index);
+
+  // Remote consumption: start the receiver clock with enough delay for the
+  // server pipeline plus network, then fetch every frame by logical time.
+  std::int64_t frames_ok = 0;
+  std::int64_t frames_missing = 0;
+  crsim::Task player = rig.client_host.Spawn(
+      "qtclient", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        const crbase::Duration delay =
+            rig.server_host.cras_server.SuggestedInitialDelay() + Milliseconds(200);
+        rig.receiver.clock().Start(delay);
+        co_await ctx.Sleep(delay);
+        for (const crmedia::Chunk& chunk : movie->index.chunks()) {
+          const crbase::Time due = ctx.Now();
+          (void)due;
+          while (rig.receiver.clock().Now() < chunk.timestamp) {
+            co_await ctx.Sleep(Milliseconds(2));
+          }
+          if (rig.receiver.Get(chunk.timestamp).has_value()) {
+            ++frames_ok;
+          } else {
+            ++frames_missing;
+          }
+        }
+      });
+  rig.server_host.engine().RunFor(Seconds(12));
+
+  EXPECT_EQ(frames_missing, 0);
+  EXPECT_EQ(frames_ok, static_cast<std::int64_t>(movie->index.count()));
+  EXPECT_EQ(rig.sender.stats().chunks_sent, static_cast<std::int64_t>(movie->index.count()));
+  EXPECT_EQ(rig.sender.stats().chunks_skipped, 0);
+  EXPECT_EQ(rig.receiver.stats().chunks_received,
+            static_cast<std::int64_t>(movie->index.count()));
+  // A 1.5 Mb/s stream fits a 10 Mb/s link with plenty of headroom.
+  EXPECT_LT(rig.ethernet.Utilization(), 0.35);
+  EXPECT_LT(rig.receiver.stats().max_network_latency, Milliseconds(60));
+}
+
+TEST(Nps, FragmentsLargeChunks) {
+  QtPlayRig rig;
+  // 6 Mb/s stream: 25000-byte frames fragment into 4 packets at 8 KiB.
+  auto movie = crmedia::WriteMpeg2File(rig.server_host.fs, "hd", Seconds(2));
+  ASSERT_TRUE(movie.ok());
+  cras::SessionId session = cras::kInvalidSession;
+  crsim::Task opener = rig.server_host.kernel.Spawn(
+      "qtserver", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        cras::OpenParams params;
+        params.inode = movie->inode;
+        params.index = movie->index;
+        auto opened = co_await rig.server_host.cras_server.Open(std::move(params));
+        CRAS_CHECK(opened.ok());
+        session = *opened;
+        (void)co_await rig.server_host.cras_server.StartStream(
+            session, rig.server_host.cras_server.SuggestedInitialDelay());
+      });
+  rig.server_host.engine().RunFor(Milliseconds(50));
+  crsim::Task sender_task = rig.sender.Start(session, &movie->index);
+  rig.server_host.engine().RunFor(Seconds(6));
+  EXPECT_EQ(rig.sender.stats().chunks_sent, static_cast<std::int64_t>(movie->index.count()));
+  EXPECT_EQ(rig.sender.stats().packets_sent, 4 * rig.sender.stats().chunks_sent);
+  EXPECT_EQ(rig.receiver.stats().chunks_received, rig.sender.stats().chunks_sent);
+}
+
+}  // namespace
+}  // namespace crnet

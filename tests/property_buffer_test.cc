@@ -1,0 +1,113 @@
+// Property tests for the time-driven shared buffer: invariants under random
+// operation sequences, swept over capacities and jitter allowances.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/random.h"
+#include "src/core/time_driven_buffer.h"
+
+namespace cras {
+namespace {
+
+using crbase::Duration;
+using crbase::Milliseconds;
+using crbase::Time;
+
+struct BufferCase {
+  const char* name;
+  std::int64_t capacity_frames;
+  std::int64_t jitter_ms;
+  std::uint64_t seed;
+};
+
+class BufferInvariants : public ::testing::TestWithParam<BufferCase> {};
+
+TEST_P(BufferInvariants, RandomOperationSequencePreservesInvariants) {
+  const BufferCase& c = GetParam();
+  const Duration frame = Milliseconds(33);
+  const std::int64_t frame_bytes = 6250;
+  TimeDrivenBuffer buffer(c.capacity_frames * frame_bytes, Milliseconds(c.jitter_ms));
+  crbase::Rng rng(c.seed);
+
+  // A reference model: map timestamp -> size, maintained with the same
+  // discard rule, without the capacity bound.
+  std::map<Time, std::int64_t> model;
+  Time logical = -crbase::Seconds(1);
+  std::int64_t produced = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t op = rng.NextBelow(100);
+    if (op < 50) {
+      // Put the next chunk (sometimes a duplicate of a recent one).
+      std::int64_t index = produced;
+      if (op < 5 && produced > 0) {
+        index = static_cast<std::int64_t>(rng.NextBelow(static_cast<std::uint64_t>(produced)));
+      } else {
+        ++produced;
+      }
+      BufferedChunk chunk;
+      chunk.chunk_index = index;
+      chunk.timestamp = index * frame;
+      chunk.duration = frame;
+      chunk.size = frame_bytes;
+      buffer.Put(chunk, logical);
+      if (chunk.timestamp + chunk.duration > logical - buffer.jitter_allowance()) {
+        model[chunk.timestamp] = chunk.size;
+      }
+    } else if (op < 75) {
+      // Advance logical time and sweep.
+      logical += static_cast<Duration>(rng.NextBelow(100)) * Milliseconds(10);
+      buffer.DiscardObsolete(logical);
+    } else {
+      // Random get.
+      const Time t = logical + static_cast<Duration>(rng.NextInRange(-2000, 2000)) *
+                                   Milliseconds(1);
+      std::optional<BufferedChunk> got = buffer.Get(t);
+      if (got.has_value()) {
+        // Whatever comes back must cover t.
+        EXPECT_LE(got->timestamp, t);
+        EXPECT_GT(got->timestamp + got->duration, t);
+      }
+    }
+    // Mirror the discard rule in the model.
+    const Time discard_before = logical - buffer.jitter_allowance();
+    for (auto it = model.begin(); it != model.end();) {
+      if (it->first + frame <= discard_before) {
+        it = model.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Invariants:
+    //  (1) resident bytes equals the sum of resident chunk sizes and never
+    //      exceeds capacity;
+    EXPECT_LE(buffer.resident_bytes(), buffer.capacity_bytes());
+    EXPECT_EQ(buffer.resident_bytes(),
+              static_cast<std::int64_t>(buffer.resident_chunks()) * frame_bytes);
+    //  (2) the buffer holds a subset of the unbounded reference model
+    //      (capacity evictions may remove more, never retain extra);
+    EXPECT_LE(buffer.resident_chunks(), model.size());
+  }
+  //  (3) accounting identity over the whole run: every accepted put is
+  //      resident, aged out, capacity-evicted, or replaced by a duplicate.
+  const TimeDrivenBufferStats& stats = buffer.stats();
+  EXPECT_EQ(stats.puts,
+            static_cast<std::int64_t>(buffer.resident_chunks()) + stats.discarded_obsolete +
+                stats.overflow_evictions + stats.replaced);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BufferInvariants,
+    ::testing::Values(BufferCase{"tiny_no_jitter", 4, 0, 11},
+                      BufferCase{"tiny_jittered", 4, 100, 22},
+                      BufferCase{"interval_sized", 32, 100, 33},
+                      BufferCase{"interval_sized_alt_seed", 32, 100, 44},
+                      BufferCase{"large_long_jitter", 256, 500, 55},
+                      BufferCase{"large_no_jitter", 256, 0, 66}),
+    [](const ::testing::TestParamInfo<BufferCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cras

@@ -1,0 +1,73 @@
+// Property tests for chunk indexes: lookup consistency over random VBR
+// streams.
+
+#include <gtest/gtest.h>
+
+#include "src/base/random.h"
+#include "src/media/chunk_index.h"
+
+namespace crmedia {
+namespace {
+
+using crbase::Seconds;
+
+class IndexLookupProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexLookupProperty, FindByTimeAgreesWithLinearScan) {
+  crbase::Rng rng(GetParam());
+  const ChunkIndex index = BuildVbrIndex(187500.0, 0.5, 30.0, Seconds(8), rng);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Time t = static_cast<Time>(rng.NextInRange(-100, 9000)) * crbase::Milliseconds(1);
+    const std::int64_t got = index.FindByTime(t);
+    // Reference: last chunk with timestamp <= t, by linear scan.
+    std::int64_t expected = -1;
+    for (std::size_t i = 0; i < index.count(); ++i) {
+      if (index.at(i).timestamp <= t) {
+        expected = static_cast<std::int64_t>(i);
+      }
+    }
+    EXPECT_EQ(got, expected) << "t=" << t;
+  }
+}
+
+TEST_P(IndexLookupProperty, RangeByTimePartitionsConsecutiveWindows) {
+  crbase::Rng rng(GetParam());
+  const ChunkIndex index = BuildVbrIndex(187500.0, 0.5, 30.0, Seconds(8), rng);
+  // Consecutive windows [kT, (k+1)T) must partition the chunks: every chunk
+  // in exactly one window (this is precisely how the request scheduler
+  // consumes the index).
+  const crbase::Duration window = crbase::Milliseconds(500);
+  std::int64_t covered = 0;
+  std::int64_t prev_last = 0;
+  for (Time t = 0; t < Seconds(9); t += window) {
+    auto [first, last] = index.RangeByTime(t, t + window);
+    EXPECT_EQ(first, prev_last) << "gap or overlap at window starting " << t;
+    EXPECT_LE(first, last);
+    covered += last - first;
+    prev_last = last;
+  }
+  EXPECT_EQ(covered, static_cast<std::int64_t>(index.count()));
+}
+
+TEST_P(IndexLookupProperty, WorstRateIsAnUpperBoundOnWindowDemand) {
+  crbase::Rng rng(GetParam());
+  const ChunkIndex index = BuildVbrIndex(187500.0, 0.5, 30.0, Seconds(8), rng);
+  const crbase::Duration window = crbase::Milliseconds(500);
+  const double worst = index.WorstRate(window);
+  // No window's actual byte demand may exceed the declared worst rate.
+  for (Time t = 0; t < Seconds(8); t += crbase::Milliseconds(100)) {
+    auto [first, last] = index.RangeByTime(t, t + window);
+    std::int64_t bytes = 0;
+    for (std::int64_t i = first; i < last; ++i) {
+      bytes += index.at(static_cast<std::size_t>(i)).size;
+    }
+    EXPECT_LE(static_cast<double>(bytes), worst * crbase::ToSeconds(window) + 1.0)
+        << "window at " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexLookupProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+}  // namespace
+}  // namespace crmedia

@@ -1,0 +1,75 @@
+#include "src/stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/table.h"
+
+namespace crstats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(s.Median(), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 0.01);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 0.2);
+}
+
+TEST(Samples, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_EQ(s.Median(), 0.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"streams", "throughput"});
+  t.Cell(static_cast<std::int64_t>(1)).Cell(0.19, 2);
+  t.EndRow();
+  t.Cell(static_cast<std::int64_t>(25)).Cell(3.61, 2);
+  t.EndRow();
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("streams  throughput"), std::string::npos);
+  EXPECT_NE(out.find("-------  ----------"), std::string::npos);
+  EXPECT_NE(out.find("25       3.61"), std::string::npos);
+}
+
+TEST(Table, CsvMode) {
+  Table t({"a", "b"});
+  t.SetCsv(true);
+  t.Cell("x").Cell(static_cast<std::int64_t>(7));
+  t.EndRow();
+  EXPECT_EQ(t.ToString(), "a,b\nx,7\n");
+}
+
+}  // namespace
+}  // namespace crstats

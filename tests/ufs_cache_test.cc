@@ -1,0 +1,72 @@
+#include "src/ufs/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace crufs {
+namespace {
+
+TEST(BufferCache, MissThenHit) {
+  BufferCache cache(4);
+  EXPECT_FALSE(cache.Lookup(10));
+  cache.Insert(10);
+  EXPECT_TRUE(cache.Lookup(10));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(BufferCache, EvictsLeastRecentlyUsed) {
+  BufferCache cache(3);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);
+  EXPECT_TRUE(cache.Lookup(1));  // 1 becomes most recent
+  cache.Insert(4);               // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(BufferCache, InsertExistingRefreshesRecency) {
+  BufferCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(1);  // refresh, no eviction
+  EXPECT_EQ(cache.size(), 2);
+  cache.Insert(3);  // evicts 2, not 1
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(BufferCache, ContainsDoesNotPerturbStats) {
+  BufferCache cache(2);
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(9));
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+}
+
+TEST(BufferCache, SizeNeverExceedsCapacity) {
+  BufferCache cache(8);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(i);
+    EXPECT_LE(cache.size(), 8);
+  }
+  EXPECT_EQ(cache.size(), 8);
+}
+
+TEST(BufferCache, ClearEmptiesButKeepsStats) {
+  BufferCache cache(4);
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Lookup(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+}  // namespace
+}  // namespace crufs

@@ -1,0 +1,162 @@
+// Unix server read-path behaviour: clustering, caching, FIFO service, and
+// the priority-inversion structure the paper's baseline suffers from.
+
+#include "src/ufs/unix_server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/time_units.h"
+
+namespace crufs {
+namespace {
+
+using crbase::kKiB;
+using crbase::kMiB;
+using crbase::Milliseconds;
+
+struct Rig {
+  crrt::Kernel kernel;
+  crdisk::DiskDevice device;
+  crdisk::DiskDriver driver;
+  Ufs fs;
+  UnixServer server;
+
+  Rig()
+      : device(kernel.engine(),
+               [] {
+                 crdisk::DiskDevice::Options o;
+                 o.geometry = crdisk::St32550nGeometry();
+                 return o;
+               }()),
+        driver(kernel.engine(), device),
+        fs(),
+        server(kernel, driver, fs) {
+    server.Start();
+  }
+
+  InodeNumber MakeFile(const std::string& name, std::int64_t bytes) {
+    InodeNumber n = *fs.Create(name);
+    CRAS_CHECK_OK(fs.Append(n, bytes));
+    return n;
+  }
+};
+
+TEST(UnixServer, ReadCompletesAndFillsCache) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", kMiB);
+  crbase::Status result = crbase::InternalError("not run");
+  crsim::Task t = [](Rig& r, InodeNumber inode, crbase::Status* out) -> crsim::Task {
+    *out = co_await r.server.Read(inode, 0, 64 * kKiB);
+  }(rig, n, &result);
+  rig.kernel.engine().Run();
+  EXPECT_TRUE(result.ok()) << result.ToString();
+  // 64 KiB = 8 blocks = exactly one clustered disk read.
+  EXPECT_EQ(rig.server.stats().disk_reads, 1);
+  EXPECT_EQ(rig.server.stats().blocks_from_disk, 8);
+}
+
+TEST(UnixServer, CachedRereadDoesNoIo) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", kMiB);
+  crsim::Task t = [](Rig& r, InodeNumber inode) -> crsim::Task {
+    (void)co_await r.server.Read(inode, 0, 64 * kKiB);
+    (void)co_await r.server.Read(inode, 0, 64 * kKiB);
+  }(rig, n);
+  rig.kernel.engine().Run();
+  EXPECT_EQ(rig.server.stats().disk_reads, 1);
+  EXPECT_GT(rig.server.cache().hits(), 0);
+}
+
+TEST(UnixServer, ReadAheadServesSequentialAccess) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", kMiB);
+  // Read 8 KiB at a time sequentially: only every 8th block misses.
+  crsim::Task t = [](Rig& r, InodeNumber inode) -> crsim::Task {
+    for (std::int64_t off = 0; off < 512 * kKiB; off += 8 * kKiB) {
+      (void)co_await r.server.Read(inode, off, 8 * kKiB);
+    }
+  }(rig, n);
+  rig.kernel.engine().Run();
+  EXPECT_EQ(rig.server.stats().disk_reads, 8);  // 64 blocks / 8-block clusters
+}
+
+TEST(UnixServer, ReadBeyondEofFails) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", 16 * kKiB);
+  crbase::Status result;
+  crsim::Task t = [](Rig& r, InodeNumber inode, crbase::Status* out) -> crsim::Task {
+    *out = co_await r.server.Read(inode, 8 * kKiB, 16 * kKiB);
+  }(rig, n, &result);
+  rig.kernel.engine().Run();
+  EXPECT_EQ(result.code(), crbase::StatusCode::kOutOfRange);
+}
+
+TEST(UnixServer, ZeroLengthReadSucceeds) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", 16 * kKiB);
+  crbase::Status result = crbase::InternalError("not run");
+  crsim::Task t = [](Rig& r, InodeNumber inode, crbase::Status* out) -> crsim::Task {
+    *out = co_await r.server.Read(inode, 0, 0);
+  }(rig, n, &result);
+  rig.kernel.engine().Run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(rig.server.stats().disk_reads, 0);
+}
+
+TEST(UnixServer, RequestsServedInArrivalOrder) {
+  // The priority-inversion structure: a request that arrives after two
+  // large background reads waits for both, regardless of the priority of
+  // the thread that issued it.
+  Rig rig;
+  InodeNumber big = rig.MakeFile("big", 8 * kMiB);
+  InodeNumber small = rig.MakeFile("small", 8 * kKiB);
+  std::vector<std::string> completions;
+  auto reader = [](Rig& r, InodeNumber inode, std::int64_t len, std::string tag,
+                   std::vector<std::string>* log) -> crsim::Task {
+    (void)co_await r.server.Read(inode, 0, len);
+    log->push_back(std::move(tag));
+  };
+  crsim::Task bg1 = reader(rig, big, 2 * kMiB, "bg1", &completions);
+  crsim::Task bg2 = reader(rig, big, 2 * kMiB, "bg2", &completions);
+  crsim::Task player = reader(rig, small, 8 * kKiB, "player", &completions);
+  rig.kernel.engine().Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[2], "player");
+}
+
+TEST(UnixServer, FragmentedFileReadsSlower) {
+  auto measure = [](bool fragment) {
+    Rig rig;
+    InodeNumber n = rig.MakeFile("f", 4 * kMiB);
+    if (fragment) {
+      crbase::Rng rng(5);
+      CRAS_CHECK_OK(rig.fs.Fragment(n, rng));
+    }
+    crsim::Task t = [](Rig& r, InodeNumber inode) -> crsim::Task {
+      (void)co_await r.server.Read(inode, 0, 4 * kMiB);
+    }(rig, n);
+    rig.kernel.engine().Run();
+    return rig.kernel.Now();
+  };
+  const crbase::Time contiguous = measure(false);
+  const crbase::Time fragmented = measure(true);
+  EXPECT_GT(fragmented, 3 * contiguous);
+}
+
+TEST(UnixServer, StatsTrackBusyTime) {
+  Rig rig;
+  InodeNumber n = rig.MakeFile("f", kMiB);
+  crsim::Task t = [](Rig& r, InodeNumber inode) -> crsim::Task {
+    (void)co_await r.server.Read(inode, 0, kMiB);
+  }(rig, n);
+  rig.kernel.engine().Run();
+  EXPECT_EQ(rig.server.stats().requests, 1);
+  EXPECT_EQ(rig.server.stats().blocks_requested, 128);
+  EXPECT_GT(rig.server.stats().busy_time, Milliseconds(10));
+}
+
+}  // namespace
+}  // namespace crufs
