@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/base")
+subdirs("src/sim")
+subdirs("src/rtmach")
+subdirs("src/disk")
+subdirs("src/ufs")
+subdirs("src/media")
+subdirs("src/core")
+subdirs("src/net")
+subdirs("src/stats")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cscan.dir/abl_cscan.cc.o"
+  "CMakeFiles/abl_cscan.dir/abl_cscan.cc.o.d"
+  "abl_cscan"
+  "abl_cscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_dual_queue.cc" "bench/CMakeFiles/abl_dual_queue.dir/abl_dual_queue.cc.o" "gcc" "bench/CMakeFiles/abl_dual_queue.dir/abl_dual_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cras_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cras_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cras_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/cras_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtmach/CMakeFiles/cras_rtmach.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cras_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cras_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dual_queue.dir/abl_dual_queue.cc.o"
+  "CMakeFiles/abl_dual_queue.dir/abl_dual_queue.cc.o.d"
+  "abl_dual_queue"
+  "abl_dual_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dual_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_read_size.dir/abl_read_size.cc.o"
+  "CMakeFiles/abl_read_size.dir/abl_read_size.cc.o.d"
+  "abl_read_size"
+  "abl_read_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_read_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

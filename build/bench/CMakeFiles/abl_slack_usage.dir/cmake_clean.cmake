@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slack_usage.dir/abl_slack_usage.cc.o"
+  "CMakeFiles/abl_slack_usage.dir/abl_slack_usage.cc.o.d"
+  "abl_slack_usage"
+  "abl_slack_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slack_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

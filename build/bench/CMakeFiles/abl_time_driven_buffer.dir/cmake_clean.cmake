@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_time_driven_buffer.dir/abl_time_driven_buffer.cc.o"
+  "CMakeFiles/abl_time_driven_buffer.dir/abl_time_driven_buffer.cc.o.d"
+  "abl_time_driven_buffer"
+  "abl_time_driven_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_time_driven_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vbr_waste.dir/abl_vbr_waste.cc.o"
+  "CMakeFiles/abl_vbr_waste.dir/abl_vbr_waste.cc.o.d"
+  "abl_vbr_waste"
+  "abl_vbr_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vbr_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

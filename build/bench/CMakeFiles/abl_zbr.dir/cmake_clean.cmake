@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_zbr.dir/abl_zbr.cc.o"
+  "CMakeFiles/abl_zbr.dir/abl_zbr.cc.o.d"
+  "abl_zbr"
+  "abl_zbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_zbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_write_rate.dir/ext_write_rate.cc.o"
+  "CMakeFiles/ext_write_rate.dir/ext_write_rate.cc.o.d"
+  "ext_write_rate"
+  "ext_write_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_write_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_delay_jitter.dir/fig07_delay_jitter.cc.o"
+  "CMakeFiles/fig07_delay_jitter.dir/fig07_delay_jitter.cc.o.d"
+  "fig07_delay_jitter"
+  "fig07_delay_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_delay_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_admission_1_5mbps.dir/fig08_admission_1_5mbps.cc.o"
+  "CMakeFiles/fig08_admission_1_5mbps.dir/fig08_admission_1_5mbps.cc.o.d"
+  "fig08_admission_1_5mbps"
+  "fig08_admission_1_5mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_admission_1_5mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

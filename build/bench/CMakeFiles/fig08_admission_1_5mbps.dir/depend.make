@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_admission_1_5mbps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_admission_6mbps.dir/fig09_admission_6mbps.cc.o"
+  "CMakeFiles/fig09_admission_6mbps.dir/fig09_admission_6mbps.cc.o.d"
+  "fig09_admission_6mbps"
+  "fig09_admission_6mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_admission_6mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rt_scheduling.dir/fig10_rt_scheduling.cc.o"
+  "CMakeFiles/fig10_rt_scheduling.dir/fig10_rt_scheduling.cc.o.d"
+  "fig10_rt_scheduling"
+  "fig10_rt_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rt_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cras.dir/micro_cras.cc.o"
+  "CMakeFiles/micro_cras.dir/micro_cras.cc.o.d"
+  "micro_cras"
+  "micro_cras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_disk.dir/micro_disk.cc.o"
+  "CMakeFiles/micro_disk.dir/micro_disk.cc.o.d"
+  "micro_disk"
+  "micro_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_disk_params.dir/table4_disk_params.cc.o"
+  "CMakeFiles/table4_disk_params.dir/table4_disk_params.cc.o.d"
+  "table4_disk_params"
+  "table4_disk_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_disk_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_explorer.dir/admission_explorer.cc.o"
+  "CMakeFiles/admission_explorer.dir/admission_explorer.cc.o.d"
+  "admission_explorer"
+  "admission_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_server.dir/embedded_server.cc.o"
+  "CMakeFiles/embedded_server.dir/embedded_server.cc.o.d"
+  "embedded_server"
+  "embedded_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qtplay_network.dir/qtplay_network.cc.o"
+  "CMakeFiles/qtplay_network.dir/qtplay_network.cc.o.d"
+  "qtplay_network"
+  "qtplay_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qtplay_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

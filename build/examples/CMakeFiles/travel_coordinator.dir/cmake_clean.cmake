@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_coordinator.dir/travel_coordinator.cc.o"
+  "CMakeFiles/travel_coordinator.dir/travel_coordinator.cc.o.d"
+  "travel_coordinator"
+  "travel_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_base.dir/bytes.cc.o"
+  "CMakeFiles/cras_base.dir/bytes.cc.o.d"
+  "CMakeFiles/cras_base.dir/logging.cc.o"
+  "CMakeFiles/cras_base.dir/logging.cc.o.d"
+  "CMakeFiles/cras_base.dir/status.cc.o"
+  "CMakeFiles/cras_base.dir/status.cc.o.d"
+  "CMakeFiles/cras_base.dir/time_units.cc.o"
+  "CMakeFiles/cras_base.dir/time_units.cc.o.d"
+  "libcras_base.a"
+  "libcras_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/cras_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/cras_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/cras.cc" "src/core/CMakeFiles/cras_core.dir/cras.cc.o" "gcc" "src/core/CMakeFiles/cras_core.dir/cras.cc.o.d"
+  "/root/repo/src/core/player.cc" "src/core/CMakeFiles/cras_core.dir/player.cc.o" "gcc" "src/core/CMakeFiles/cras_core.dir/player.cc.o.d"
+  "/root/repo/src/core/time_driven_buffer.cc" "src/core/CMakeFiles/cras_core.dir/time_driven_buffer.cc.o" "gcc" "src/core/CMakeFiles/cras_core.dir/time_driven_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cras_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtmach/CMakeFiles/cras_rtmach.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cras_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/cras_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cras_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_core.dir/admission.cc.o"
+  "CMakeFiles/cras_core.dir/admission.cc.o.d"
+  "CMakeFiles/cras_core.dir/cras.cc.o"
+  "CMakeFiles/cras_core.dir/cras.cc.o.d"
+  "CMakeFiles/cras_core.dir/player.cc.o"
+  "CMakeFiles/cras_core.dir/player.cc.o.d"
+  "CMakeFiles/cras_core.dir/time_driven_buffer.cc.o"
+  "CMakeFiles/cras_core.dir/time_driven_buffer.cc.o.d"
+  "libcras_core.a"
+  "libcras_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_disk.dir/device.cc.o"
+  "CMakeFiles/cras_disk.dir/device.cc.o.d"
+  "CMakeFiles/cras_disk.dir/driver.cc.o"
+  "CMakeFiles/cras_disk.dir/driver.cc.o.d"
+  "CMakeFiles/cras_disk.dir/seek_model.cc.o"
+  "CMakeFiles/cras_disk.dir/seek_model.cc.o.d"
+  "libcras_disk.a"
+  "libcras_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/chunk_index.cc" "src/media/CMakeFiles/cras_media.dir/chunk_index.cc.o" "gcc" "src/media/CMakeFiles/cras_media.dir/chunk_index.cc.o.d"
+  "/root/repo/src/media/control_file.cc" "src/media/CMakeFiles/cras_media.dir/control_file.cc.o" "gcc" "src/media/CMakeFiles/cras_media.dir/control_file.cc.o.d"
+  "/root/repo/src/media/load.cc" "src/media/CMakeFiles/cras_media.dir/load.cc.o" "gcc" "src/media/CMakeFiles/cras_media.dir/load.cc.o.d"
+  "/root/repo/src/media/media_file.cc" "src/media/CMakeFiles/cras_media.dir/media_file.cc.o" "gcc" "src/media/CMakeFiles/cras_media.dir/media_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cras_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/ufs/CMakeFiles/cras_ufs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtmach/CMakeFiles/cras_rtmach.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/cras_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cras_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_media.dir/chunk_index.cc.o"
+  "CMakeFiles/cras_media.dir/chunk_index.cc.o.d"
+  "CMakeFiles/cras_media.dir/control_file.cc.o"
+  "CMakeFiles/cras_media.dir/control_file.cc.o.d"
+  "CMakeFiles/cras_media.dir/load.cc.o"
+  "CMakeFiles/cras_media.dir/load.cc.o.d"
+  "CMakeFiles/cras_media.dir/media_file.cc.o"
+  "CMakeFiles/cras_media.dir/media_file.cc.o.d"
+  "libcras_media.a"
+  "libcras_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_net.dir/link.cc.o"
+  "CMakeFiles/cras_net.dir/link.cc.o.d"
+  "CMakeFiles/cras_net.dir/nps.cc.o"
+  "CMakeFiles/cras_net.dir/nps.cc.o.d"
+  "libcras_net.a"
+  "libcras_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_rtmach.dir/kernel.cc.o"
+  "CMakeFiles/cras_rtmach.dir/kernel.cc.o.d"
+  "libcras_rtmach.a"
+  "libcras_rtmach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_rtmach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

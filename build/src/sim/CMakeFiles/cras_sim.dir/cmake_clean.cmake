@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_sim.dir/cpu.cc.o"
+  "CMakeFiles/cras_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/cras_sim.dir/engine.cc.o"
+  "CMakeFiles/cras_sim.dir/engine.cc.o.d"
+  "libcras_sim.a"
+  "libcras_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

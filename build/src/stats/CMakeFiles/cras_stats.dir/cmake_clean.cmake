@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_stats.dir/table.cc.o"
+  "CMakeFiles/cras_stats.dir/table.cc.o.d"
+  "libcras_stats.a"
+  "libcras_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

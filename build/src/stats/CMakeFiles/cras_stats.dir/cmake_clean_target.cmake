@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcras_stats.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cras_ufs.dir/ufs.cc.o"
+  "CMakeFiles/cras_ufs.dir/ufs.cc.o.d"
+  "CMakeFiles/cras_ufs.dir/unix_server.cc.o"
+  "CMakeFiles/cras_ufs.dir/unix_server.cc.o.d"
+  "libcras_ufs.a"
+  "libcras_ufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cras_ufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base_random_test.cc" "tests/CMakeFiles/base_test.dir/base_random_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base_random_test.cc.o.d"
+  "/root/repo/tests/base_status_test.cc" "tests/CMakeFiles/base_test.dir/base_status_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base_status_test.cc.o.d"
+  "/root/repo/tests/base_time_units_test.cc" "tests/CMakeFiles/base_test.dir/base_time_units_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base_time_units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cras_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cras_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core_admission_test.cc.o"
+  "CMakeFiles/core_test.dir/core_admission_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core_buffer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_clock_test.cc.o"
+  "CMakeFiles/core_test.dir/core_clock_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_player_test.cc.o"
+  "CMakeFiles/core_test.dir/core_player_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_robustness_test.cc.o"
+  "CMakeFiles/core_test.dir/core_robustness_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_seek_test.cc.o"
+  "CMakeFiles/core_test.dir/core_seek_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_server_test.cc.o"
+  "CMakeFiles/core_test.dir/core_server_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_setrate_test.cc.o"
+  "CMakeFiles/core_test.dir/core_setrate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core_write_test.cc.o"
+  "CMakeFiles/core_test.dir/core_write_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

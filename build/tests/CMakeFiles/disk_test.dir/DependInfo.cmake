@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/disk_device_test.cc" "tests/CMakeFiles/disk_test.dir/disk_device_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_device_test.cc.o.d"
+  "/root/repo/tests/disk_driver_test.cc" "tests/CMakeFiles/disk_test.dir/disk_driver_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_driver_test.cc.o.d"
+  "/root/repo/tests/disk_model_test.cc" "tests/CMakeFiles/disk_test.dir/disk_model_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_model_test.cc.o.d"
+  "/root/repo/tests/disk_zoned_test.cc" "tests/CMakeFiles/disk_test.dir/disk_zoned_test.cc.o" "gcc" "tests/CMakeFiles/disk_test.dir/disk_zoned_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/cras_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cras_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtmach_test.dir/rtmach_mutex_test.cc.o"
+  "CMakeFiles/rtmach_test.dir/rtmach_mutex_test.cc.o.d"
+  "CMakeFiles/rtmach_test.dir/rtmach_test.cc.o"
+  "CMakeFiles/rtmach_test.dir/rtmach_test.cc.o.d"
+  "rtmach_test"
+  "rtmach_test.pdb"
+  "rtmach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtmach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ufs_write_test.dir/ufs_write_test.cc.o"
+  "CMakeFiles/ufs_write_test.dir/ufs_write_test.cc.o.d"
+  "ufs_write_test"
+  "ufs_write_test.pdb"
+  "ufs_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ufs_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
