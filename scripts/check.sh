@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + test, exactly what ROADMAP.md specifies.
+# Run from anywhere; builds into <repo>/build.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$(nproc)"
+ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"

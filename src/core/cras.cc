@@ -22,16 +22,38 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::
 CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs,
                        const Options& options)
     : kernel_(&kernel),
-      driver_(&driver),
+      owned_volume_(std::make_unique<crvol::StripedVolume>(driver)),
+      volume_(owned_volume_.get()),
       fs_(&fs),
       options_(options),
       admission_(options.disk_params, options.interval, options.max_read_bytes),
+      volume_admission_(options.disk_params, volume_->disks(), options.interval,
+                        options.max_read_bytes, volume_->stripe_unit_bytes()),
       control_port_(kernel.engine()),
       io_done_port_(kernel.engine()),
       deadline_port_(kernel.engine()),
       signal_port_(kernel.engine()) {
   // The server wires its code and static state (~250 KB in the paper);
   // buffers are wired as sessions open.
+  kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+}
+
+CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs)
+    : CrasServer(kernel, volume, fs, Options{}) {}
+
+CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs,
+                       const Options& options)
+    : kernel_(&kernel),
+      volume_(&volume),
+      fs_(&fs),
+      options_(options),
+      admission_(options.disk_params, options.interval, options.max_read_bytes),
+      volume_admission_(options.disk_params, volume.disks(), options.interval,
+                        options.max_read_bytes, volume.stripe_unit_bytes()),
+      control_port_(kernel.engine()),
+      io_done_port_(kernel.engine()),
+      deadline_port_(kernel.engine()),
+      signal_port_(kernel.engine()) {
   kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
 }
 
@@ -133,7 +155,9 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     IntervalRecord record;
     record.index = tick.index;
     record.scheduler_lateness = tick.lateness;
-    record.estimated_io = admission_.Evaluate(CurrentDemands()).io_time();
+    // The binding member disk's estimate; on a one-disk volume exactly the
+    // paper's single-disk figure.
+    record.estimated_io = volume_admission_.Evaluate(CurrentDemands()).WorstIoTime();
     interval_records_.push_back(record);
 
     const crbase::Time deadline = timer.BoundaryOf(tick.index + 1);
@@ -234,10 +258,11 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
       params.rate_factor;
   demand.chunk_bytes = params.index.max_chunk_bytes();
 
-  // The admission test (§2.3): time and memory must both fit.
+  // The admission test (§2.3), run per member disk: every disk's interval
+  // deadline and the memory budget must hold.
   std::vector<StreamDemand> demands = CurrentDemands();
   demands.push_back(demand);
-  if (!admission_.Admissible(demands, options_.memory_budget_bytes)) {
+  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
     ++stats_.sessions_rejected;
     return crbase::ResourceExhaustedError("admission test failed");
   }
@@ -249,7 +274,7 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   session.index = std::move(params.index);
   session.demand = demand;
   session.rate_factor = params.rate_factor;
-  const std::int64_t buffer_bytes = admission_.BufferBytes(demand);
+  const std::int64_t buffer_bytes = volume_admission_.BufferBytes(demand);
   session.buffer =
       std::make_unique<TimeDrivenBuffer>(buffer_bytes, options_.jitter_allowance);
   session.clock = std::make_unique<LogicalClock>(kernel_->engine());
@@ -343,14 +368,14 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
   for (const auto& [other_id, other] : sessions_) {
     demands.push_back(other_id == id ? new_demand : other.demand);
   }
-  if (!admission_.Admissible(demands, options_.memory_budget_bytes)) {
+  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
     return crbase::ResourceExhaustedError("admission test failed at the new rate");
   }
   // Re-reserve the buffer at the new B_i. Resident data stays valid (the
   // buffer object is preserved; only the accounting and cap change through
   // a new buffer would lose data, so we keep the larger of the two caps in
   // the object and track the reservation delta).
-  const std::int64_t new_buffer_bytes = admission_.BufferBytes(new_demand);
+  const std::int64_t new_buffer_bytes = volume_admission_.BufferBytes(new_demand);
   const std::int64_t old_buffer_bytes = session->buffer->capacity_bytes();
   if (new_buffer_bytes > old_buffer_bytes) {
     kernel_->WireMemory("cras-buffer", new_buffer_bytes - old_buffer_bytes);
@@ -425,6 +450,7 @@ std::int64_t CrasServer::PublishCompletedBatches() {
 std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time deadline) {
   struct Planned {
     std::uint64_t batch_id;
+    int disk;
     crdisk::DiskRequest request;
     std::int64_t cylinder;
   };
@@ -448,23 +474,29 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     batch.first_chunk = first;
     batch.last_chunk = last;
     batch.kind = kind;
-    batch.outstanding = static_cast<int>(extents->size());
     batch.interval_slot = interval_slot;
     batch.deadline = deadline;
     for (const crufs::Extent& extent : *extents) {
       batch.bytes += extent.bytes();
-      crdisk::DiskRequest request;
-      request.kind = kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
-      request.lba = extent.lba;
-      request.sectors = extent.sectors;
-      request.realtime = true;
-      const std::uint64_t batch_id = batch.id;
-      request.on_complete = [this, batch_id](const crdisk::DiskCompletion& completion) {
-        io_done_port_.Send(IoDoneMsg{batch_id, completion});
-      };
-      planned.push_back(Planned{batch.id,
-                                std::move(request),
-                                driver_->device().geometry().CylinderOf(extent.lba)});
+      // Fan the logical extent out to the member disks owning its stripe
+      // units (a one-disk volume maps it to a single identical request).
+      for (const crvol::StripedVolume::Segment& segment :
+           volume_->MapRange(extent.lba, extent.sectors)) {
+        crdisk::DiskRequest request;
+        request.kind =
+            kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
+        request.lba = segment.lba;
+        request.sectors = segment.sectors;
+        request.realtime = true;
+        const std::uint64_t batch_id = batch.id;
+        request.on_complete = [this, batch_id](const crdisk::DiskCompletion& completion) {
+          io_done_port_.Send(IoDoneMsg{batch_id, completion});
+        };
+        ++batch.outstanding;
+        planned.push_back(
+            Planned{batch.id, segment.disk, std::move(request),
+                    volume_->device(segment.disk).geometry().CylinderOf(segment.lba)});
+      }
     }
     if (batch.outstanding == 0) {
       return;  // zero-length range
@@ -524,10 +556,12 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
   }
 
   // The paper: "making all the read requests to disks in cylinder order to
-  // minimize the seek time."
+  // minimize the seek time" — here per member disk, since each disk's RT
+  // queue sweeps its own surface independently.
   if (options_.sort_requests_by_cylinder) {
-    std::sort(planned.begin(), planned.end(),
-              [](const Planned& a, const Planned& b) { return a.cylinder < b.cylinder; });
+    std::sort(planned.begin(), planned.end(), [](const Planned& a, const Planned& b) {
+      return a.disk != b.disk ? a.disk < b.disk : a.cylinder < b.cylinder;
+    });
   }
   for (Planned& p : planned) {
     if (p.request.kind == crdisk::IoKind::kRead) {
@@ -535,7 +569,7 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     } else {
       ++stats_.write_requests;
     }
-    driver_->Submit(std::move(p.request));
+    volume_->driver(p.disk).Submit(std::move(p.request));
   }
   const std::int64_t issued = static_cast<std::int64_t>(planned.size());
   interval_records_[interval_slot].requests += issued;

@@ -9,9 +9,11 @@
 //   request scheduler — periodic with period T (the *interval time*); at
 //                       each boundary it (1) publishes the data retrieved
 //                       during the previous interval into the time-driven
-//                       shared buffers and (2) issues, in cylinder order,
-//                       every disk read the next interval needs, coalescing
-//                       contiguous blocks up to 256 KiB per request;
+//                       shared buffers and (2) issues, in per-disk cylinder
+//                       order, every disk read the next interval needs,
+//                       coalescing contiguous blocks up to 256 KiB per
+//                       request and fanning each request out to the member
+//                       disk of the striped volume that owns its blocks;
 //   I/O-done manager  — receives completion notifications from the driver
 //                       and queues them for the scheduler;
 //   deadline manager  — consumes deadline-miss notifications (CRAS logs a
@@ -25,6 +27,13 @@
 // Extension (paper §4, built here): constant-rate *write* sessions over
 // contiguously preallocated files, staged through the same interval
 // scheduler and admission formulas.
+//
+// Extension (beyond the paper): the server retrieves from a striped
+// multi-disk volume (crvol::StripedVolume). Admission runs the paper's
+// formulas per member disk (crvol::VolumeAdmissionModel), so an N-disk
+// volume admits ~N times the Fig. 6 stream count. The single-driver
+// constructors wrap the driver in a degenerate one-disk volume and behave
+// exactly as before.
 
 #ifndef SRC_CORE_CRAS_H_
 #define SRC_CORE_CRAS_H_
@@ -51,6 +60,8 @@
 #include "src/sim/port.h"
 #include "src/sim/task.h"
 #include "src/ufs/ufs.h"
+#include "src/volume/striped_volume.h"
+#include "src/volume/volume_admission.h"
 
 namespace cras {
 
@@ -129,8 +140,16 @@ class CrasServer {
     bool sort_requests_by_cylinder = true;
   };
 
+  // Single-disk constructors: wrap `driver` in a one-disk volume; behaviour
+  // is identical to the pre-volume server.
   CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs);
   CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs,
+             const Options& options);
+  // Striped-volume constructors: `fs` must span the volume's logical space
+  // (see crufs::Ufs::Options::total_sectors). Options::disk_params describes
+  // one member disk; admission runs per disk.
+  CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs);
+  CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs,
              const Options& options);
   CrasServer(const CrasServer&) = delete;
   CrasServer& operator=(const CrasServer&) = delete;
@@ -190,7 +209,12 @@ class CrasServer {
 
   // ---- introspection ----
   const Options& options() const { return options_; }
+  // The paper's single-disk admission model (one member disk's parameters).
+  // Decisions are made by volume_admission(), which degenerates to exactly
+  // this model on a one-disk volume.
   const AdmissionModel& admission() const { return admission_; }
+  const crvol::VolumeAdmissionModel& volume_admission() const { return volume_admission_; }
+  crvol::StripedVolume& volume() { return *volume_; }
   const ServerStats& stats() const { return stats_; }
   const std::vector<IntervalRecord>& interval_records() const { return interval_records_; }
   std::int64_t buffer_bytes_reserved() const { return buffer_bytes_reserved_; }
@@ -295,10 +319,13 @@ class CrasServer {
   std::vector<StreamDemand> CurrentDemands() const;
 
   crrt::Kernel* kernel_;
-  crdisk::DiskDriver* driver_;
+  // Set only by the single-driver constructors (the wrapping volume).
+  std::unique_ptr<crvol::StripedVolume> owned_volume_;
+  crvol::StripedVolume* volume_;
   crufs::Ufs* fs_;
   Options options_;
   AdmissionModel admission_;
+  crvol::VolumeAdmissionModel volume_admission_;
 
   crsim::Port<ControlMsg> control_port_;
   crsim::Port<IoDoneMsg> io_done_port_;

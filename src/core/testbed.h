@@ -1,5 +1,7 @@
 // A fully wired simulated machine: the paper's Gateway2000 P5-100 with one
 // ST32550N disk, Real-Time Mach, the Unix server, and a CRAS server.
+// `VolumeTestbed` is the multi-disk variant: the same rig over a striped
+// volume of N identical disks.
 //
 // Used by integration tests, benches, and examples so every experiment runs
 // on an identical rig.
@@ -14,6 +16,7 @@
 #include "src/disk/driver.h"
 #include "src/rtmach/kernel.h"
 #include "src/ufs/unix_server.h"
+#include "src/volume/striped_volume.h"
 
 namespace cras {
 
@@ -53,6 +56,55 @@ class Testbed {
   crufs::Ufs fs;
   crufs::UnixServer unix_server;
   CrasServer cras_server;
+};
+
+struct VolumeTestbedOptions {
+  crrt::Kernel::Options kernel;
+  crvol::VolumeOptions volume;
+  crufs::Ufs::Options ufs;
+  crufs::UnixServer::Options unix_server;
+  CrasServer::Options cras;
+};
+
+// The multi-disk rig: N identical member disks behind a StripedVolume, with
+// the file system laid out over the volume's logical block space.
+class VolumeTestbed {
+ public:
+  VolumeTestbed() : VolumeTestbed(VolumeTestbedOptions{}) {}
+
+  explicit VolumeTestbed(const VolumeTestbedOptions& options)
+      : kernel(options.kernel),
+        volume(kernel.engine(), options.volume),
+        fs(UfsOptionsFor(volume, options.ufs)),
+        unix_server(kernel, volume, fs, options.unix_server),
+        cras_server(kernel, volume, fs, options.cras) {}
+
+  // Starts both servers.
+  void StartServers() {
+    unix_server.Start();
+    cras_server.Start();
+  }
+
+  crsim::Engine& engine() { return kernel.engine(); }
+  crbase::Time Now() const { return kernel.Now(); }
+
+  crrt::Kernel kernel;
+  crvol::StripedVolume volume;
+  crufs::Ufs fs;
+  crufs::UnixServer unix_server;
+  CrasServer cras_server;
+
+ private:
+  static crufs::Ufs::Options UfsOptionsFor(const crvol::StripedVolume& volume,
+                                           crufs::Ufs::Options ufs) {
+    ufs.geometry = volume.geometry();
+    ufs.total_sectors = volume.total_sectors();
+    if (volume.disks() > 1) {
+      ufs.stripe_unit_sectors = volume.stripe_unit_sectors();
+      ufs.stripe_width_sectors = volume.stripe_unit_sectors() * volume.disks();
+    }
+    return ufs;
+  }
 };
 
 }  // namespace cras

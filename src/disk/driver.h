@@ -12,12 +12,12 @@
 #ifndef SRC_DISK_DRIVER_H_
 #define SRC_DISK_DRIVER_H_
 
-#include <coroutine>
 #include <cstdint>
 #include <vector>
 
 #include "src/base/time_units.h"
 #include "src/disk/device.h"
+#include "src/disk/io_target.h"
 #include "src/disk/request.h"
 #include "src/sim/engine.h"
 
@@ -36,7 +36,7 @@ struct DriverQueueStats {
   std::size_t max_depth = 0;
 };
 
-class DiskDriver {
+class DiskDriver : public IoTarget {
  public:
   struct Options {
     QueueDiscipline discipline = QueueDiscipline::kCScan;
@@ -51,10 +51,8 @@ class DiskDriver {
   DiskDriver& operator=(const DiskDriver&) = delete;
 
   // Enqueues a request; its on_complete callback fires at completion.
-  std::uint64_t Submit(DiskRequest req);
-
-  // Coroutine-friendly submission: `DiskCompletion c = co_await driver.Execute(req);`
-  auto Execute(DiskRequest req) { return IoAwaiter{this, std::move(req), {}}; }
+  // (Execute() for coroutine-friendly submission comes from IoTarget.)
+  std::uint64_t Submit(DiskRequest req) override;
 
   std::size_t realtime_depth() const { return rt_queue_.size(); }
   std::size_t normal_depth() const { return normal_queue_.size(); }
@@ -70,22 +68,6 @@ class DiskDriver {
     crbase::Time enqueued_at;
     std::int64_t cylinder;
     std::uint64_t seq;  // FIFO tiebreak / FIFO discipline order
-  };
-
-  struct IoAwaiter {
-    DiskDriver* driver;
-    DiskRequest req;
-    DiskCompletion result;
-
-    bool await_ready() const { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      req.on_complete = [this, h](const DiskCompletion& c) {
-        result = c;
-        h.resume();
-      };
-      driver->Submit(std::move(req));
-    }
-    DiskCompletion await_resume() { return result; }
   };
 
   void MaybeDispatch();

@@ -1,0 +1,51 @@
+// The submission interface shared by everything that accepts disk requests:
+// a single disk's driver (crdisk::DiskDriver) and a striped multi-disk
+// volume (crvol::StripedVolume). Callers that only need "send this request
+// somewhere and get a completion" — the Unix server, bulk-I/O load
+// generators — program against this interface, so the same code path runs
+// unchanged over one spindle or eight.
+
+#ifndef SRC_DISK_IO_TARGET_H_
+#define SRC_DISK_IO_TARGET_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+
+#include "src/disk/request.h"
+
+namespace crdisk {
+
+class IoTarget {
+ public:
+  virtual ~IoTarget() = default;
+
+  // Enqueues a request; its on_complete callback fires at completion.
+  // Returns an identifier unique within this target.
+  virtual std::uint64_t Submit(DiskRequest req) = 0;
+
+  // Coroutine-friendly submission:
+  //   `DiskCompletion c = co_await target.Execute(req);`
+  auto Execute(DiskRequest req) { return IoAwaiter{this, std::move(req), {}}; }
+
+ private:
+  struct IoAwaiter {
+    IoTarget* target;
+    DiskRequest req;
+    DiskCompletion result;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      req.on_complete = [this, h](const DiskCompletion& c) {
+        result = c;
+        h.resume();
+      };
+      target->Submit(std::move(req));
+    }
+    DiskCompletion await_resume() { return result; }
+  };
+};
+
+}  // namespace crdisk
+
+#endif  // SRC_DISK_IO_TARGET_H_

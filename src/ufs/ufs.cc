@@ -22,7 +22,19 @@ Ufs::Ufs(const Options& options) : options_(options) {
   dirs_.insert("");  // the root
   sectors_per_block_ = kBlockSize / options_.geometry.sector_size;
   CRAS_CHECK(sectors_per_block_ * options_.geometry.sector_size == kBlockSize);
-  total_blocks_ = options_.geometry.total_sectors() / sectors_per_block_;
+  const std::int64_t total_sectors =
+      options_.total_sectors > 0 ? options_.total_sectors : options_.geometry.total_sectors();
+  total_blocks_ = total_sectors / sectors_per_block_;
+  if (options_.stripe_unit_sectors > 0) {
+    stripe_unit_blocks_ = options_.stripe_unit_sectors / sectors_per_block_;
+    CRAS_CHECK(stripe_unit_blocks_ * sectors_per_block_ == options_.stripe_unit_sectors)
+        << "stripe unit must be a whole number of file-system blocks";
+    stripe_width_blocks_ = options_.stripe_width_sectors > 0
+                               ? options_.stripe_width_sectors / sectors_per_block_
+                               : stripe_unit_blocks_;
+    CRAS_CHECK(stripe_width_blocks_ % stripe_unit_blocks_ == 0)
+        << "stripe width must be a whole number of stripe units";
+  }
   free_blocks_ = total_blocks_;
   used_.assign(static_cast<std::size_t>(total_blocks_), false);
   const std::int64_t bpg = BlocksPerGroup();
@@ -246,7 +258,47 @@ std::int64_t Ufs::ChooseBlock(InodeNumber n, std::int64_t prev, std::int64_t fil
   for (std::int64_t probe = 0; probe < groups; ++probe) {
     const std::int64_t candidate = (group + probe) % groups;
     if (group_free_[static_cast<std::size_t>(candidate)] > 0) {
-      return FindFree(candidate * bpg);
+      const std::int64_t start = candidate * bpg;
+      if (stripe_unit_blocks_ > 0) {
+        const std::int64_t aligned = FindFreeAligned(start, n);
+        if (aligned >= 0) {
+          return aligned;
+        }
+      }
+      return FindFree(start);
+    }
+  }
+  return -1;
+}
+
+std::int64_t Ufs::FindFreeAligned(std::int64_t start, InodeNumber n) const {
+  // Stripe-aware placement: each file starts at a per-inode block *phase*
+  // within a full stripe (unit * disks) at or after `start`, wrapping. The
+  // phases walk the stripe in odd-multiplier steps, so file starts cover
+  // every member disk and every sub-unit offset uniformly. Both components
+  // matter: the disk spread balances concurrent streams' interval windows
+  // across the array, and the sub-unit spread staggers where each stream's
+  // reads cross unit boundaries. Without the stagger, same-rate streams
+  // started together cross boundaries in the *same* intervals, and every
+  // one of their reads splits in two at once — a synchronized request
+  // spike the per-disk admission charge does not cover. The step is an
+  // odd fixed-point golden-ratio fraction of the usual 2 MiB eight-disk
+  // span, giving low-discrepancy coverage: any run of inodes spreads
+  // near-evenly over every unit of the stripe.
+  if (free_blocks_ == 0 || stripe_unit_blocks_ <= 0) {
+    return -1;
+  }
+  const std::int64_t span = stripe_width_blocks_;
+  const std::int64_t stripes = total_blocks_ / span;
+  if (stripes == 0) {
+    return -1;
+  }
+  const std::int64_t phase = (n * 157) % span;
+  std::int64_t stripe = (start + span - 1) / span;
+  for (std::int64_t probe = 0; probe < stripes; ++probe) {
+    const std::int64_t candidate = ((stripe + probe) % stripes) * span + phase;
+    if (!used_[static_cast<std::size_t>(candidate)]) {
+      return candidate;
     }
   }
   return -1;

@@ -90,6 +90,21 @@ class Ufs {
     crdisk::DiskGeometry geometry;
     std::int64_t cylinders_per_group = 16;
     AllocPolicy policy;
+    // Striped-volume support. When total_sectors > 0 the file system spans
+    // that many sectors of *logical* volume space (an N-disk volume is N
+    // times larger than the per-disk `geometry`, which then only sizes
+    // cylinder groups). When stripe_unit_sectors > 0 the allocator starts
+    // each new file in a fresh stripe unit — at a per-inode phase within
+    // it — so concurrent streams' interval reads fan out across member
+    // disks and their stripe-boundary crossings fall in different
+    // intervals.
+    std::int64_t total_sectors = 0;
+    std::int64_t stripe_unit_sectors = 0;
+    // Full stripe width (unit * member disks). When set, the per-inode
+    // start phase spreads over the whole width, so file starts cover every
+    // member disk *and* every sub-unit offset uniformly; defaults to one
+    // unit.
+    std::int64_t stripe_width_sectors = 0;
   };
 
   Ufs();
@@ -135,6 +150,7 @@ class Ufs {
   std::int64_t sectors_per_block() const { return sectors_per_block_; }
   std::int64_t total_blocks() const { return total_blocks_; }
   std::int64_t free_blocks() const { return free_blocks_; }
+  std::int64_t stripe_unit_blocks() const { return stripe_unit_blocks_; }
   std::int64_t groups() const { return static_cast<std::int64_t>(group_free_.size()); }
 
   // Disk sector address of file block `file_block`.
@@ -153,6 +169,10 @@ class Ufs {
   std::int64_t BlocksPerGroup() const;
   // Finds a free block at or after `start` (wrapping); -1 when full.
   std::int64_t FindFree(std::int64_t start) const;
+  // Finds a free first block for file `n` in a fresh stripe unit at or
+  // after `start` (wrapping), at a per-inode phase inside the unit; -1 when
+  // none exists or the volume is not striped.
+  std::int64_t FindFreeAligned(std::int64_t start, InodeNumber n) const;
   void Take(std::int64_t block);
   void Release(std::int64_t block);
   // Chooses the next block for file `n` whose previous block is `prev`
@@ -162,6 +182,8 @@ class Ufs {
 
   Options options_;
   std::int64_t sectors_per_block_ = 0;
+  std::int64_t stripe_unit_blocks_ = 0;   // 0 = not striped
+  std::int64_t stripe_width_blocks_ = 0;  // phase-stagger span; >= unit
   std::int64_t total_blocks_ = 0;
   std::int64_t free_blocks_ = 0;
   std::vector<bool> used_;

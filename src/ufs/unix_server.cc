@@ -7,10 +7,10 @@
 
 namespace crufs {
 
-UnixServer::UnixServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, Ufs& fs)
+UnixServer::UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs)
     : UnixServer(kernel, driver, fs, Options{}) {}
 
-UnixServer::UnixServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, Ufs& fs,
+UnixServer::UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs,
                        const Options& options)
     : kernel_(&kernel),
       driver_(&driver),

@@ -12,6 +12,10 @@
 //      requests (priority inversion);
 //   2. its disk requests share the normal queue with every other
 //      non-real-time I/O and receive no reservation.
+//
+// The server submits through the crdisk::IoTarget interface, so the same
+// code serves a single-disk driver or a striped multi-disk volume (whose
+// logical block space the mounted Ufs then spans).
 
 #ifndef SRC_UFS_UNIX_SERVER_H_
 #define SRC_UFS_UNIX_SERVER_H_
@@ -23,7 +27,7 @@
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
-#include "src/disk/driver.h"
+#include "src/disk/io_target.h"
 #include "src/rtmach/kernel.h"
 #include "src/sim/port.h"
 #include "src/sim/task.h"
@@ -53,8 +57,8 @@ class UnixServer {
     crbase::Duration cpu_per_block = crbase::Microseconds(150);
   };
 
-  UnixServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, Ufs& fs);
-  UnixServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, Ufs& fs, const Options& options);
+  UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs);
+  UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs, const Options& options);
   UnixServer(const UnixServer&) = delete;
   UnixServer& operator=(const UnixServer&) = delete;
 
@@ -117,7 +121,7 @@ class UnixServer {
   crsim::Task ServeWrite(crrt::ThreadContext& ctx, Request request);
 
   crrt::Kernel* kernel_;
-  crdisk::DiskDriver* driver_;
+  crdisk::IoTarget* driver_;
   Ufs* fs_;
   Options options_;
   crsim::Port<Request> port_;

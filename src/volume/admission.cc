@@ -1,0 +1,97 @@
+#include "src/volume/admission.h"
+
+#include "src/base/logging.h"
+
+namespace cras {
+
+DiskParams MeasuredSt32550nParams() { return DiskParams{}; }
+
+AdmissionModel::AdmissionModel(const DiskParams& params, Duration interval,
+                               std::int64_t max_read_bytes)
+    : params_(params), interval_(interval), max_read_bytes_(max_read_bytes) {
+  CRAS_CHECK(interval > 0);
+  CRAS_CHECK(max_read_bytes > 0);
+  CRAS_CHECK(params.transfer_rate > 0);
+}
+
+std::int64_t AdmissionModel::BytesPerInterval(const StreamDemand& demand) const {
+  return crbase::BytesInDuration(demand.rate_bytes_per_sec, interval_) + demand.chunk_bytes;
+}
+
+std::int64_t AdmissionModel::RequestsPerInterval(const StreamDemand& demand) const {
+  const std::int64_t bytes = BytesPerInterval(demand);
+  return (bytes + max_read_bytes_ - 1) / max_read_bytes_;
+}
+
+std::int64_t AdmissionModel::BufferBytes(const StreamDemand& demand) const {
+  return 2 * BytesPerInterval(demand);
+}
+
+Duration AdmissionModel::TotalOverhead(std::int64_t requests) const {
+  if (requests <= 0) {
+    return 0;
+  }
+  const Duration other_transfer =
+      crbase::TransferTime(params_.b_other, params_.transfer_rate);
+  if (requests == 1) {
+    // (14): O_other + one worst-case seek + rotation + command.
+    return other_transfer + 2 * (params_.t_seek_max + params_.t_rot + params_.t_cmd);
+  }
+  // (15): O_other, plus the C-SCAN sweep bound 2*T_seek_max +
+  // (N-2)*T_seek_min, plus per-request rotation and command overheads.
+  return other_transfer + 3 * params_.t_seek_max + (requests - 2) * params_.t_seek_min +
+         (requests + 1) * (params_.t_rot + params_.t_cmd);
+}
+
+AdmissionEstimate AdmissionModel::Evaluate(const std::vector<StreamDemand>& streams) const {
+  AdmissionEstimate estimate;
+  for (const StreamDemand& s : streams) {
+    estimate.requests += RequestsPerInterval(s);
+    estimate.bytes += BytesPerInterval(s);
+    estimate.buffer_bytes += BufferBytes(s);
+  }
+  estimate.overhead = TotalOverhead(estimate.requests);
+  estimate.transfer = crbase::TransferTime(estimate.bytes, params_.transfer_rate);
+  return estimate;
+}
+
+bool AdmissionModel::Admissible(const std::vector<StreamDemand>& streams,
+                                std::int64_t memory_budget_bytes) const {
+  const AdmissionEstimate estimate = Evaluate(streams);
+  return estimate.io_time() <= interval_ && estimate.buffer_bytes <= memory_budget_bytes;
+}
+
+Duration AdmissionModel::MinimalInterval(const std::vector<StreamDemand>& streams) const {
+  // T >= (O_total*D + C_total) / (D - R_total), formula (1). O_total depends
+  // on N which depends on T through the request count; iterate to a fixed
+  // point from the optimistic one-request-per-stream start.
+  double r_total = 0;
+  std::int64_t c_total = 0;
+  for (const StreamDemand& s : streams) {
+    r_total += s.rate_bytes_per_sec;
+    c_total += s.chunk_bytes;
+  }
+  if (r_total >= params_.transfer_rate) {
+    return -1;
+  }
+  Duration t = crbase::Milliseconds(1);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::int64_t requests = 0;
+    for (const StreamDemand& s : streams) {
+      const std::int64_t bytes = crbase::BytesInDuration(s.rate_bytes_per_sec, t) + s.chunk_bytes;
+      requests += (bytes + max_read_bytes_ - 1) / max_read_bytes_;
+    }
+    const double o_total = crbase::ToSeconds(TotalOverhead(requests));
+    const double next_seconds =
+        (o_total * params_.transfer_rate + static_cast<double>(c_total)) /
+        (params_.transfer_rate - r_total);
+    const Duration next = crbase::SecondsF(next_seconds);
+    if (next <= t) {
+      return next > t - crbase::Microseconds(1) ? next : t;
+    }
+    t = next;
+  }
+  return t;
+}
+
+}  // namespace cras

@@ -1,0 +1,111 @@
+// CRAS admission test (§2.3, Appendices B and C).
+//
+// The test estimates, from worst-case disk parameters, the time needed to
+// retrieve every admitted stream's data within one interval T:
+//
+//   A_i        = T*R_i + C_i                               (3)
+//   feasible  <=>  O_total + A_total/D  <=  T              (equiv. to (1))
+//   B_total    = 2*(T*R_total + C_total)                   (2)
+//
+// with the overhead decomposed per Appendix C:
+//
+//   O_other    = T_cmd + T_seek_max + T_rot + B_other/D    (9)
+//   O_cmd      = N*T_cmd                                   (10)
+//   O_seek(1)  = T_seek_max                                (11)
+//   O_seek(N)  = 2*T_seek_max + (N-2)*T_seek_min, N >= 2   (12)
+//   O_rot      = N*T_rot                                   (13)
+//   O_total(1) = B_other/D + 2*(T_seek_max+T_rot+T_cmd)    (14)
+//   O_total(N) = B_other/D + 3*T_seek_max
+//                + (N-2)*T_seek_min + (N+1)*(T_rot+T_cmd)  (15)
+//
+// N counts disk *read requests* per interval: a stream needing more than the
+// 256 KiB maximum read size per interval contributes several. Every term is
+// a worst case (full-stroke wrap seek, full rotational latency, a maximal
+// non-real-time request in flight), which is why the measured-to-estimated
+// ratio of Figures 8-9 sits far below 100% for small, low-rate workloads.
+
+#ifndef SRC_VOLUME_ADMISSION_H_
+#define SRC_VOLUME_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/time_units.h"
+#include "src/disk/seek_model.h"
+
+namespace cras {
+
+using crbase::Duration;
+
+// Table 3/4: the disk parameters the admission test consumes. Obtained by
+// measuring the (simulated) drive — see bench/table4_disk_params.
+struct DiskParams {
+  double transfer_rate = 6.5e6;                       // D, bytes/second
+  Duration t_seek_max = crbase::Milliseconds(17);     // full-stroke seek
+  Duration t_seek_min = crbase::Milliseconds(4);      // linear-fit intercept
+  Duration t_rot = crbase::MillisecondsF(8.33);       // full rotation
+  Duration t_cmd = crbase::Milliseconds(2);           // command overhead
+  std::int64_t b_other = 64 * crbase::kKiB;           // max other-traffic request
+};
+
+// The parameters the paper reports for its ST32550N (Table 4).
+DiskParams MeasuredSt32550nParams();
+
+// What a stream declares at crs_open: its worst-case data rate and its
+// largest chunk.
+struct StreamDemand {
+  double rate_bytes_per_sec = 0;  // R_i
+  std::int64_t chunk_bytes = 0;   // C_i
+};
+
+// The per-interval cost estimate for a set of admitted streams.
+struct AdmissionEstimate {
+  std::int64_t requests = 0;       // N
+  std::int64_t bytes = 0;          // A_total
+  std::int64_t buffer_bytes = 0;   // B_total
+  Duration overhead = 0;           // O_total(N)
+  Duration transfer = 0;           // A_total / D
+  Duration io_time() const { return overhead + transfer; }
+};
+
+class AdmissionModel {
+ public:
+  AdmissionModel(const DiskParams& params, Duration interval, std::int64_t max_read_bytes);
+
+  const DiskParams& params() const { return params_; }
+  Duration interval() const { return interval_; }
+  std::int64_t max_read_bytes() const { return max_read_bytes_; }
+
+  // A_i = T*R_i + C_i.
+  std::int64_t BytesPerInterval(const StreamDemand& demand) const;
+  // ceil(A_i / max_read_bytes): requests stream i contributes per interval.
+  std::int64_t RequestsPerInterval(const StreamDemand& demand) const;
+  // B_i = 2*A_i: the stream's share of buffer memory.
+  std::int64_t BufferBytes(const StreamDemand& demand) const;
+
+  // O_total(N), formulas (14)/(15); zero for N == 0.
+  Duration TotalOverhead(std::int64_t requests) const;
+
+  // Full estimate for a stream set.
+  AdmissionEstimate Evaluate(const std::vector<StreamDemand>& streams) const;
+
+  // The admission decision: retrieval fits in the interval and the buffers
+  // fit in `memory_budget_bytes`.
+  bool Admissible(const std::vector<StreamDemand>& streams,
+                  std::int64_t memory_budget_bytes) const;
+
+  // Smallest feasible interval for a stream set per formula (1):
+  // T >= (O_total*D + C_total) / (D - R_total). Returns a negative value
+  // when R_total >= D (no interval can work).
+  Duration MinimalInterval(const std::vector<StreamDemand>& streams) const;
+
+ private:
+  DiskParams params_;
+  Duration interval_;
+  std::int64_t max_read_bytes_;
+};
+
+}  // namespace cras
+
+#endif  // SRC_VOLUME_ADMISSION_H_

@@ -1,0 +1,150 @@
+#include "src/volume/striped_volume.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crvol {
+
+StripedVolume::StripedVolume(crsim::Engine& engine, const VolumeOptions& options) {
+  CRAS_CHECK(options.disks >= 1) << "a volume needs at least one disk";
+  sector_size_ = options.device.geometry.sector_size;
+  CRAS_CHECK(options.stripe_unit_bytes > 0 &&
+             options.stripe_unit_bytes % sector_size_ == 0)
+      << "stripe unit must be a positive whole number of sectors";
+  unit_sectors_ = options.stripe_unit_bytes / sector_size_;
+  for (int d = 0; d < options.disks; ++d) {
+    owned_devices_.push_back(std::make_unique<crdisk::DiskDevice>(engine, options.device));
+    owned_drivers_.push_back(
+        std::make_unique<crdisk::DiskDriver>(engine, *owned_devices_.back(), options.driver));
+    drivers_.push_back(owned_drivers_.back().get());
+  }
+  const std::int64_t disk_sectors = options.device.geometry.total_sectors();
+  if (options.disks == 1) {
+    // Degenerate volume: identity mapping, full capacity (exactly the
+    // single-disk system the paper measured).
+    units_per_disk_ = 0;
+    total_sectors_ = disk_sectors;
+  } else {
+    units_per_disk_ = disk_sectors / unit_sectors_;
+    CRAS_CHECK(units_per_disk_ > 0) << "stripe unit larger than a member disk";
+    total_sectors_ = static_cast<std::int64_t>(options.disks) * units_per_disk_ * unit_sectors_;
+  }
+}
+
+StripedVolume::StripedVolume(crdisk::DiskDriver& driver) {
+  drivers_.push_back(&driver);
+  sector_size_ = driver.device().geometry().sector_size;
+  unit_sectors_ = 256 * crbase::kKiB / sector_size_;
+  units_per_disk_ = 0;
+  total_sectors_ = driver.device().geometry().total_sectors();
+}
+
+StripedVolume::Segment StripedVolume::Map(crdisk::Lba logical) const {
+  CRAS_CHECK(logical >= 0 && logical < total_sectors_) << "logical LBA out of range: " << logical;
+  if (disks() == 1) {
+    return Segment{0, logical, 1};
+  }
+  const std::int64_t unit = logical / unit_sectors_;
+  const std::int64_t offset = logical % unit_sectors_;
+  const int disk = static_cast<int>(unit % disks());
+  const std::int64_t physical_unit = unit / disks();
+  return Segment{disk, physical_unit * unit_sectors_ + offset, 1};
+}
+
+crdisk::Lba StripedVolume::ToLogical(int disk, crdisk::Lba physical) const {
+  CRAS_CHECK(disk >= 0 && disk < disks()) << "no such disk: " << disk;
+  if (disks() == 1) {
+    return physical;
+  }
+  const std::int64_t physical_unit = physical / unit_sectors_;
+  const std::int64_t offset = physical % unit_sectors_;
+  CRAS_CHECK(physical_unit < units_per_disk_) << "physical LBA beyond the striped area";
+  const std::int64_t unit = physical_unit * disks() + disk;
+  return unit * unit_sectors_ + offset;
+}
+
+std::vector<StripedVolume::Segment> StripedVolume::MapRange(crdisk::Lba logical,
+                                                            std::int64_t sectors) const {
+  CRAS_CHECK(sectors > 0) << "empty range";
+  CRAS_CHECK(logical >= 0 && logical + sectors <= total_sectors_)
+      << "range [" << logical << ", " << logical + sectors << ") beyond the volume";
+  std::vector<Segment> segments;
+  crdisk::Lba pos = logical;
+  const crdisk::Lba end = logical + sectors;
+  while (pos < end) {
+    // The piece of the current stripe unit covered by the range.
+    const crdisk::Lba unit_end = (pos / unit_sectors_ + 1) * unit_sectors_;
+    const std::int64_t piece = std::min(end, unit_end) - pos;
+    Segment mapped = Map(pos);
+    mapped.sectors = piece;
+    if (!segments.empty() && segments.back().disk == mapped.disk &&
+        segments.back().lba + segments.back().sectors == mapped.lba) {
+      segments.back().sectors += piece;
+    } else {
+      segments.push_back(mapped);
+    }
+    pos += piece;
+  }
+  return segments;
+}
+
+std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
+  const std::uint64_t id = next_id_++;
+  ++stats_.requests_submitted;
+  std::vector<Segment> segments = MapRange(req.lba, req.sectors);
+  if (segments.size() > 1) {
+    ++stats_.requests_split;
+  }
+
+  // Shared fan-out state: the merged completion reports the caller's
+  // logical view — logical LBA, total sectors, component times summed over
+  // the pieces, queue/service span from first enqueue to last finish.
+  struct FanOut {
+    int outstanding = 0;
+    bool first = true;
+    crdisk::DiskCompletion merged;
+    std::function<void(const crdisk::DiskCompletion&)> on_complete;
+  };
+  auto state = std::make_shared<FanOut>();
+  state->outstanding = static_cast<int>(segments.size());
+  state->on_complete = std::move(req.on_complete);
+  state->merged.request_id = id;
+  state->merged.kind = req.kind;
+  state->merged.lba = req.lba;
+  state->merged.sectors = req.sectors;
+  state->merged.realtime = req.realtime;
+
+  for (const Segment& segment : segments) {
+    crdisk::DiskRequest piece;
+    piece.kind = req.kind;
+    piece.lba = segment.lba;
+    piece.sectors = segment.sectors;
+    piece.realtime = req.realtime;
+    piece.on_complete = [state](const crdisk::DiskCompletion& c) {
+      crdisk::DiskCompletion& merged = state->merged;
+      if (state->first) {
+        state->first = false;
+        merged.enqueued_at = c.enqueued_at;
+        merged.started_at = c.started_at;
+        merged.finished_at = c.finished_at;
+      } else {
+        merged.enqueued_at = std::min(merged.enqueued_at, c.enqueued_at);
+        merged.started_at = std::min(merged.started_at, c.started_at);
+        merged.finished_at = std::max(merged.finished_at, c.finished_at);
+      }
+      merged.command_time += c.command_time;
+      merged.seek_time += c.seek_time;
+      merged.rotation_time += c.rotation_time;
+      merged.transfer_time += c.transfer_time;
+      if (--state->outstanding == 0 && state->on_complete) {
+        state->on_complete(merged);
+      }
+    };
+    drivers_[static_cast<std::size_t>(segment.disk)]->Submit(std::move(piece));
+  }
+  return id;
+}
+
+}  // namespace crvol

@@ -1,0 +1,112 @@
+#include "src/volume/volume_admission.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+#include "src/base/logging.h"
+
+namespace crvol {
+
+VolumeAdmissionModel::VolumeAdmissionModel(const cras::DiskParams& params, int disks,
+                                           Duration interval, std::int64_t max_read_bytes,
+                                           std::int64_t stripe_unit_bytes)
+    : VolumeAdmissionModel(std::vector<cras::DiskParams>(static_cast<std::size_t>(disks), params),
+                           interval, max_read_bytes, stripe_unit_bytes) {}
+
+VolumeAdmissionModel::VolumeAdmissionModel(std::vector<cras::DiskParams> per_disk,
+                                           Duration interval, std::int64_t max_read_bytes,
+                                           std::int64_t stripe_unit_bytes)
+    : stripe_unit_bytes_(stripe_unit_bytes) {
+  CRAS_CHECK(!per_disk.empty()) << "a volume needs at least one disk";
+  CRAS_CHECK(stripe_unit_bytes > 0);
+  models_.reserve(per_disk.size());
+  for (const cras::DiskParams& params : per_disk) {
+    models_.emplace_back(params, interval, max_read_bytes);
+  }
+}
+
+Duration VolumeAdmissionModel::Estimate::WorstIoTime() const {
+  Duration worst = 0;
+  for (const DiskEstimate& d : per_disk) {
+    worst = std::max(worst, d.io_time());
+  }
+  return worst;
+}
+
+int VolumeAdmissionModel::Estimate::BottleneckDisk() const {
+  int worst = 0;
+  for (int d = 1; d < static_cast<int>(per_disk.size()); ++d) {
+    if (per_disk[static_cast<std::size_t>(d)].io_time() >
+        per_disk[static_cast<std::size_t>(worst)].io_time()) {
+      worst = d;
+    }
+  }
+  return worst;
+}
+
+VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
+    const std::vector<cras::StreamDemand>& streams) const {
+  Estimate estimate;
+  const int n = disks();
+
+  if (n == 1) {
+    // Exactly the paper's single-disk test.
+    const cras::AdmissionEstimate single = models_.front().Evaluate(streams);
+    estimate.per_disk.push_back(
+        DiskEstimate{single.requests, single.bytes, single.overhead, single.transfer});
+    estimate.bytes = single.bytes;
+    estimate.buffer_bytes = single.buffer_bytes;
+    return estimate;
+  }
+
+  std::int64_t total_bytes = 0;
+  std::int64_t total_requests = 0;
+  std::int64_t largest_window = 0;
+  for (const cras::StreamDemand& s : streams) {
+    const std::int64_t a_i = models_.front().BytesPerInterval(s);
+    total_bytes += a_i;
+    total_requests += models_.front().RequestsPerInterval(s);
+    largest_window = std::max(largest_window, a_i);
+    estimate.buffer_bytes += models_.front().BufferBytes(s);
+  }
+  estimate.bytes = total_bytes;
+  if (total_requests == 0) {
+    estimate.per_disk.assign(static_cast<std::size_t>(n), DiskEstimate{});
+    return estimate;
+  }
+
+  // Balanced share plus skew allowance — one extra window of bytes, two
+  // extra requests (a window parked on this disk plus a boundary-straddling
+  // split landing here); never more than the whole demand.
+  const std::int64_t bytes_d =
+      std::min(total_bytes,
+               (total_bytes + n - 1) / n + std::min(largest_window, stripe_unit_bytes_));
+  const std::int64_t requests_d = std::min(total_requests, (total_requests + n - 1) / n + 2);
+  for (int d = 0; d < n; ++d) {
+    const cras::AdmissionModel& model = models_[static_cast<std::size_t>(d)];
+    DiskEstimate disk;
+    disk.requests = requests_d;
+    disk.bytes = bytes_d;
+    disk.overhead = model.TotalOverhead(requests_d);
+    disk.transfer = crbase::TransferTime(bytes_d, model.params().transfer_rate);
+    estimate.per_disk.push_back(disk);
+  }
+  return estimate;
+}
+
+bool VolumeAdmissionModel::Admissible(const std::vector<cras::StreamDemand>& streams,
+                                      std::int64_t memory_budget_bytes) const {
+  const Estimate estimate = Evaluate(streams);
+  if (estimate.buffer_bytes > memory_budget_bytes) {
+    return false;
+  }
+  for (int d = 0; d < disks(); ++d) {
+    if (estimate.per_disk[static_cast<std::size_t>(d)].io_time() >
+        models_[static_cast<std::size_t>(d)].interval()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace crvol

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "src/base/bytes.h"
+#include "src/disk/device.h"
+#include "src/disk/driver.h"
 #include "src/media/load.h"
 #include "src/media/media_file.h"
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/disk/device.h"
+#include "src/disk/driver.h"
 #include "src/base/time_units.h"
 
 namespace crufs {
