@@ -12,6 +12,7 @@
 #include "src/core/testbed.h"
 #include "src/media/load.h"
 #include "src/media/media_file.h"
+#include "src/obs/metrics.h"
 #include "src/stats/table.h"
 
 namespace crbench {
@@ -26,12 +27,61 @@ inline bool CsvRequested(int argc, char** argv) {
   return false;
 }
 
+// Value of a `--flag=value` argument, or "" when absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
+}
+
+// Path given with --trace=<file>, or "" when tracing was not requested.
+inline std::string TracePath(int argc, char** argv) {
+  return FlagValue(argc, argv, "--trace=");
+}
+
 // Standard bench setup: quiets per-event warnings (several benches overload
 // the server on purpose, and thousands of deadline-miss warnings would bury
-// the tables) and returns the --csv flag.
+// the tables) and returns the --csv flag. CRAS_LOG in the environment wins
+// over the bench default.
 inline bool BenchInit(int argc, char** argv) {
-  crbase::SetLogLevel(crbase::LogLevel::kError);
+  if (!crbase::SetLogLevelFromEnv()) {
+    crbase::SetLogLevel(crbase::LogLevel::kError);
+  }
   return CsvRequested(argc, argv);
+}
+
+// Sum of a counter family across all its label series (0 if absent).
+inline std::int64_t CounterTotal(const crobs::RegistrySnapshot& snap, const std::string& name) {
+  std::int64_t total = 0;
+  for (const crobs::FamilySnapshot& family : snap.families) {
+    if (family.name != name) {
+      continue;
+    }
+    for (const crobs::SeriesSnapshot& series : family.series) {
+      total += series.counter;
+    }
+  }
+  return total;
+}
+
+// Prints the headline counters of a finished run's registry snapshot — the
+// same numbers a remote operator would pull with a StatsQuery.
+inline void PrintMetricsSnapshot(const crobs::RegistrySnapshot& snap, bool csv) {
+  crstats::Table table({"metric", "value"});
+  table.SetCsv(csv);
+  for (const char* name :
+       {"cras.sessions_opened", "cras.sessions_rejected", "cras.bytes_read",
+        "cras.read_requests", "cras.deadline_misses", "admission.decisions",
+        "volume.requests", "volume.splits", "driver.submitted", "disk.requests",
+        "buffer.puts", "buffer.discarded"}) {
+    table.Cell(std::string(name)).Cell(CounterTotal(snap, name));
+    table.EndRow();
+  }
+  table.Print();
 }
 
 // Creates N MPEG1 movie files of the given length ("movie0", "movie1", ...).

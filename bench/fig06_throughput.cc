@@ -37,12 +37,23 @@ struct Run {
   std::int64_t frames_missed = 0;
 };
 
+// When `obs` is non-null the run records a trace (written to obs->trace_path
+// unless empty) and leaves the final registry snapshot in obs->snapshot.
+struct ObsCapture {
+  std::string trace_path;
+  crobs::RegistrySnapshot snapshot;
+};
+
 Run RunCras(int streams, bool load, crbase::Duration interval,
-            std::int64_t memory_budget = 0) {
+            std::int64_t memory_budget = 0, ObsCapture* obs = nullptr) {
   TestbedOptions options;
   options.cras.interval = interval;
   if (memory_budget > 0) {
     options.cras.memory_budget_bytes = memory_budget;
+  }
+  if (obs != nullptr && !obs->trace_path.empty()) {
+    options.obs.trace.enabled = true;
+    options.obs.trace.capacity = 1 << 18;  // keep the whole run, ~260k events
   }
   Testbed bed(options);
   bed.StartServers();
@@ -74,6 +85,13 @@ Run RunCras(int streams, bool load, crbase::Duration interval,
   }
   run.throughput_mbps = crbench::ToMBps(static_cast<double>(bytes) /
                                         crbase::ToSeconds(kPlayLength));
+  if (obs != nullptr) {
+    obs->snapshot = bed.hub.metrics().Snapshot();
+    if (!obs->trace_path.empty() && bed.hub.WriteTraceFile(obs->trace_path)) {
+      std::printf("wrote Chrome trace (%zu events) to %s\n", bed.hub.trace().size(),
+                  obs->trace_path.c_str());
+    }
+  }
   return run;
 }
 
@@ -173,6 +191,17 @@ int main(int argc, char** argv) {
     sweep.EndRow();
   }
   sweep.Print();
+
+  // Representative instrumented run: 10 streams under background load at the
+  // paper's 0.5 s interval. The snapshot is what a StatsQuery would return;
+  // --trace=<file> additionally dumps the run as Chrome trace_event JSON
+  // (disk-request spans, per-interval prefetch spans, deadline-slack track).
+  crstats::PrintBanner("Metrics snapshot: 10 streams, load, T = 0.5 s");
+  ObsCapture obs;
+  obs.trace_path = crbench::TracePath(argc, argv);
+  (void)RunCras(10, /*load=*/true, crbase::Milliseconds(500), /*memory_budget=*/0, &obs);
+  crbench::PrintMetricsSnapshot(obs.snapshot, csv);
+
   std::printf("\nPaper: CRAS ~55%% of disk bandwidth at 0.5s interval, >25 streams (70%%)\n"
               "with a 3s initial delay; UFS <= 9 streams unloaded, ~0 under load.\n");
   return 0;

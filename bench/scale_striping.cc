@@ -82,10 +82,22 @@ int CountAdmitted(int disks, int candidates) {
   return accepted;
 }
 
+// When non-null, the replay run records a trace (written to trace_path
+// unless empty) and leaves the final registry snapshot behind.
+struct ObsCapture {
+  std::string trace_path;
+  crobs::RegistrySnapshot snapshot;
+};
+
 // Replays `streams` concurrent players on a fresh rig; fills in the
 // delivery-side fields of `point`.
-void MeasureDelivery(int disks, int streams, ScalePoint* point) {
-  cras::VolumeTestbed bed(RigOptions(disks));
+void MeasureDelivery(int disks, int streams, ScalePoint* point, ObsCapture* obs = nullptr) {
+  cras::VolumeTestbedOptions rig_options = RigOptions(disks);
+  if (obs != nullptr && !obs->trace_path.empty()) {
+    rig_options.obs.trace.enabled = true;
+    rig_options.obs.trace.capacity = 1 << 18;
+  }
+  cras::VolumeTestbed bed(rig_options);
   bed.StartServers();
   const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
   const crbase::Duration play_length = crbase::Seconds(6);
@@ -118,6 +130,35 @@ void MeasureDelivery(int disks, int streams, ScalePoint* point) {
     point->worst_interval_io_ms =
         std::max(point->worst_interval_io_ms, crbase::ToSeconds(record.actual_io) * 1e3);
   }
+  if (obs != nullptr) {
+    obs->snapshot = bed.hub.metrics().Snapshot();
+    if (!obs->trace_path.empty() && bed.hub.WriteTraceFile(obs->trace_path)) {
+      std::printf("wrote Chrome trace (%zu events) to %s\n", bed.hub.trace().size(),
+                  obs->trace_path.c_str());
+    }
+  }
+}
+
+// Per-member-disk fan-out balance, from the volume/driver counters: a skewed
+// stripe layout would show up here as unequal piece counts.
+void PrintFanOut(const crobs::RegistrySnapshot& snap, int disks, bool csv) {
+  crstats::Table table({"disk", "volume_pieces", "driver_rt", "driver_nr"});
+  table.SetCsv(csv);
+  for (int d = 0; d < disks; ++d) {
+    const std::string name = "disk" + std::to_string(d);
+    const crobs::SeriesSnapshot* pieces =
+        snap.Find("volume.pieces", {{"volume", "disk"}, {"disk", name}});
+    const crobs::SeriesSnapshot* rt =
+        snap.Find("driver.submitted", {{"disk", name}, {"queue", "rt"}});
+    const crobs::SeriesSnapshot* nr =
+        snap.Find("driver.submitted", {{"disk", name}, {"queue", "nr"}});
+    table.Cell(name)
+        .Cell(pieces != nullptr ? pieces->counter : 0)
+        .Cell(rt != nullptr ? rt->counter : 0)
+        .Cell(nr != nullptr ? nr->counter : 0);
+    table.EndRow();
+  }
+  table.Print();
 }
 
 void WriteJson(const std::string& path, const std::vector<ScalePoint>& points) {
@@ -163,6 +204,8 @@ int main(int argc, char** argv) {
   table.SetCsv(csv);
 
   std::vector<ScalePoint> points;
+  ObsCapture obs;
+  obs.trace_path = crbench::TracePath(argc, argv);
   int single_disk_admitted = 0;
   for (const int disks : {1, 2, 4, 8}) {
     ScalePoint point;
@@ -172,7 +215,9 @@ int main(int argc, char** argv) {
       single_disk_admitted = point.admitted;
     }
     point.scaling = static_cast<double>(point.admitted) / single_disk_admitted;
-    MeasureDelivery(disks, point.admitted, &point);
+    // The widest rig is the representative one: its snapshot (and, with
+    // --trace=<file>, its Chrome trace) is emitted after the table.
+    MeasureDelivery(disks, point.admitted, &point, disks == 8 ? &obs : nullptr);
     table.Cell(static_cast<std::int64_t>(disks))
         .Cell(static_cast<std::int64_t>(point.admitted))
         .Cell(point.scaling, 2)
@@ -185,6 +230,12 @@ int main(int argc, char** argv) {
     points.push_back(point);
   }
   table.Print();
+
+  crstats::PrintBanner("Metrics snapshot: 8-disk replay");
+  crbench::PrintMetricsSnapshot(obs.snapshot, csv);
+  crstats::PrintBanner("Fan-out balance: 8-disk replay");
+  PrintFanOut(obs.snapshot, 8, csv);
+
   WriteJson(json_path, points);
   std::printf("\nWrote %s. Expected: >= 1.8x capacity at 2 disks and >= 3x at 4 disks\n"
               "(the admission split charges each disk a one-window skew allowance, so\n"

@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + test, exactly what ROADMAP.md specifies.
 # Run from anywhere; builds into <repo>/build.
+#
+#   scripts/check.sh             plain RelWithDebInfo tree (the tier-1 gate)
+#   scripts/check.sh --sanitize  additionally build + test under ASan (+LSan)
+#                                and UBSan, in build-asan/ and build-ubsan/
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-cmake -B "$repo/build" -S "$repo"
-cmake --build "$repo/build" -j "$(nproc)"
-ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)"
+run_tree() {
+  local dir="$1"
+  shift
+  cmake -B "$repo/$dir" -S "$repo" "$@"
+  cmake --build "$repo/$dir" -j "$(nproc)"
+  ctest --test-dir "$repo/$dir" --output-on-failure -j "$(nproc)"
+}
+
+run_tree build
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  run_tree build-asan -DCRAS_SANITIZE=address
+  run_tree build-ubsan -DCRAS_SANITIZE=undefined
+fi

@@ -1,8 +1,10 @@
 #include "src/base/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace crbase {
 
@@ -30,6 +32,31 @@ const char* LevelTag(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+bool SetLogLevelFromEnv() {
+  const char* raw = std::getenv("CRAS_LOG");
+  if (raw == nullptr || *raw == '\0') {
+    return false;
+  }
+  std::string value(raw);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "warning" || value == "warn") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    std::fprintf(stderr, "[W logging.cc] ignoring CRAS_LOG=%s (want debug|info|warning|error)\n",
+                 raw);
+    return false;
+  }
+  return true;
+}
 
 namespace log_internal {
 

@@ -18,6 +18,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+// Applies the CRAS_LOG environment variable (debug|info|warning|error,
+// case-insensitive) to the global threshold. Returns true when the variable
+// was present and valid; an unset or unrecognized value leaves the level
+// untouched (and warns when set but invalid).
+bool SetLogLevelFromEnv();
+
 namespace log_internal {
 
 class LogMessage {

@@ -36,6 +36,7 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::
   // The server wires its code and static state (~250 KB in the paper);
   // buffers are wired as sessions open.
   kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+  AttachObs(options_.obs);
 }
 
 CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs)
@@ -55,6 +56,47 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs
       deadline_port_(kernel.engine()),
       signal_port_(kernel.engine()) {
   kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+  AttachObs(options_.obs);
+}
+
+void CrasServer::AttachObs(crobs::Hub* hub) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  // Instrument the layers below: member disks/drivers and the admission
+  // model record through the same hub.
+  volume_->AttachObs(hub, "disk");
+  volume_admission_.AttachObs(hub);
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Tracer& trace = hub->trace();
+  obs->track = trace.InternTrack("cras");
+  obs->n_interval = trace.InternName("interval");
+  obs->cat_batch = trace.InternName("batch");
+  obs->n_prefetch = trace.InternName("prefetch");
+  obs->n_slack = trace.InternName("deadline_slack_ms");
+  obs->n_miss = trace.InternName("deadline_miss");
+  crobs::Registry& metrics = hub->metrics();
+  obs->sessions_opened = metrics.GetCounter("cras.sessions_opened");
+  obs->sessions_rejected = metrics.GetCounter("cras.sessions_rejected");
+  obs->deadline_misses = metrics.GetCounter("cras.deadline_misses");
+  obs->bytes_read = metrics.GetCounter("cras.bytes_read");
+  obs->bytes_written = metrics.GetCounter("cras.bytes_written");
+  obs->read_requests = metrics.GetCounter("cras.read_requests");
+  obs->write_requests = metrics.GetCounter("cras.write_requests");
+  obs->deadline_slack_ms =
+      metrics.GetHistogram("cras.deadline_slack_ms", {}, crobs::LatencyBucketsMs());
+  obs_ = std::move(obs);
+}
+
+CrasServer::~CrasServer() {
+  // Control messages still queued hold their senders' parked chains;
+  // draining them lets each message's ParkedHandle reclaim its client. The
+  // thread Tasks (declared after the ports) have already been destroyed.
+  ControlMsg msg;
+  while (control_port_.TryReceive(&msg)) {
+  }
 }
 
 void CrasServer::Start() {
@@ -129,7 +171,7 @@ crsim::Task CrasServer::RequestManagerThread(crrt::ThreadContext& ctx) {
         break;
     }
     if (msg.done) {
-      msg.done(std::move(result));
+      msg.Complete(std::move(result));
     }
   }
 }
@@ -140,6 +182,9 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     const crrt::PeriodTick tick = co_await timer.NextPeriod();
     if (shutdown_) {
       break;
+    }
+    if (obs_ != nullptr) {
+      obs_->hub->trace().Begin(obs_->track, obs_->n_interval);
     }
     co_await ctx.Compute(options_.cpu_per_interval);
 
@@ -165,6 +210,9 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     if (requests > 0) {
       co_await ctx.Compute(options_.cpu_per_request * requests);
     }
+    if (obs_ != nullptr) {
+      obs_->hub->trace().End(obs_->track, obs_->n_interval);
+    }
   }
 }
 
@@ -187,10 +235,27 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
     }
     if (batch.kind == SessionKind::kRead) {
       stats_.bytes_read += msg.completion.bytes();
+      if (obs_ != nullptr) {
+        obs_->bytes_read->Add(msg.completion.bytes());
+      }
     } else {
       stats_.bytes_written += msg.completion.bytes();
+      if (obs_ != nullptr) {
+        obs_->bytes_written->Add(msg.completion.bytes());
+      }
     }
     if (batch.outstanding == 0) {
+      if (obs_ != nullptr) {
+        // Slack to the interval boundary: positive = landed early, negative
+        // = this batch is about to signal a deadline miss.
+        const double slack_ms = crobs::ToMillis(batch.deadline - kernel_->Now());
+        obs_->deadline_slack_ms->Record(slack_ms);
+        crobs::Tracer& trace = obs_->hub->trace();
+        if (trace.enabled()) {
+          trace.AsyncEnd(obs_->track, obs_->cat_batch, obs_->n_prefetch, batch.id);
+          trace.CounterSample(obs_->track, obs_->n_slack, slack_ms);
+        }
+      }
       if (kernel_->Now() > batch.deadline) {
         if (batch.interval_slot < interval_records_.size()) {
           interval_records_[batch.interval_slot].completed_by_deadline = false;
@@ -215,6 +280,10 @@ crsim::Task CrasServer::DeadlineManagerThread(crrt::ThreadContext& ctx) {
     co_await ctx.Compute(options_.cpu_per_completion);
     // The paper's recovery action: notify a warning and continue.
     ++stats_.deadline_misses;
+    if (obs_ != nullptr) {
+      obs_->deadline_misses->Add();
+      obs_->hub->trace().Instant(obs_->track, obs_->n_miss, crobs::ToMillis(miss.overrun));
+    }
     CRAS_LOG(kWarning) << "CRAS deadline miss: interval " << miss.period_index << " overran by "
                        << crbase::FormatDuration(miss.overrun);
   }
@@ -225,7 +294,7 @@ crsim::Task CrasServer::SignalHandlerThread(crrt::ThreadContext&) {
   shutdown_ = true;
   // Wake every blocked sibling with its sentinel.
   control_port_.Send(ControlMsg{ControlMsg::kShutdown, kInvalidSession, OpenParams{}, 0, 0,
-                                nullptr});
+                                nullptr, {}});
   io_done_port_.Send(IoDoneMsg{0, {}});
   deadline_port_.Send(crrt::DeadlineMiss{-1, 0, 0});
 }
@@ -237,18 +306,22 @@ void CrasServer::SignalShutdown() { signal_port_.Send(1); }
 // ---------------------------------------------------------------------------
 
 crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
-  if (params.index.empty()) {
+  const auto reject = [this](crbase::Status st) {
     ++stats_.sessions_rejected;
-    return crbase::InvalidArgumentError("empty chunk index");
+    if (obs_ != nullptr) {
+      obs_->sessions_rejected->Add();
+    }
+    return st;
+  };
+  if (params.index.empty()) {
+    return reject(crbase::InvalidArgumentError("empty chunk index"));
   }
   if (params.rate_factor <= 0) {
-    ++stats_.sessions_rejected;
-    return crbase::InvalidArgumentError("rate factor must be positive");
+    return reject(crbase::InvalidArgumentError("rate factor must be positive"));
   }
   const crufs::Inode& inode = fs_->inode(params.inode);
   if (inode.size_bytes < params.index.total_bytes()) {
-    ++stats_.sessions_rejected;
-    return crbase::InvalidArgumentError("chunk index extends past the file");
+    return reject(crbase::InvalidArgumentError("chunk index extends past the file"));
   }
 
   StreamDemand demand;
@@ -263,8 +336,7 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   std::vector<StreamDemand> demands = CurrentDemands();
   demands.push_back(demand);
   if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
-    ++stats_.sessions_rejected;
-    return crbase::ResourceExhaustedError("admission test failed");
+    return reject(crbase::ResourceExhaustedError("admission test failed"));
   }
 
   Session session;
@@ -283,6 +355,10 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   buffer_bytes_reserved_ += buffer_bytes;
   kernel_->WireMemory("cras-buffer", buffer_bytes);
   ++stats_.sessions_opened;
+  if (obs_ != nullptr) {
+    obs_->sessions_opened->Add();
+    session.buffer->AttachObs(obs_->hub, "s" + std::to_string(session.id));
+  }
   const SessionId id = session.id;
   sessions_.emplace(id, std::move(session));
   return id;
@@ -391,6 +467,9 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
       }
       grown->Put(*chunk, logical_now);
       t = chunk->timestamp + chunk->duration;
+    }
+    if (obs_ != nullptr) {
+      grown->AttachObs(obs_->hub, "s" + std::to_string(id));
     }
     session->buffer = std::move(grown);
   }
@@ -502,6 +581,9 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
       return;  // zero-length range
     }
     interval_records_[interval_slot].bytes += batch.bytes;
+    if (obs_ != nullptr) {
+      obs_->hub->trace().AsyncBegin(obs_->track, obs_->cat_batch, obs_->n_prefetch, batch.id);
+    }
     inflight_.emplace(batch.id, batch);
   };
 
@@ -566,9 +648,16 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
   for (Planned& p : planned) {
     if (p.request.kind == crdisk::IoKind::kRead) {
       ++stats_.read_requests;
+      if (obs_ != nullptr) {
+        obs_->read_requests->Add();
+      }
     } else {
       ++stats_.write_requests;
+      if (obs_ != nullptr) {
+        obs_->write_requests->Add();
+      }
     }
+    volume_->NotePiece(p.disk);
     volume_->driver(p.disk).Submit(std::move(p.request));
   }
   const std::int64_t issued = static_cast<std::int64_t>(planned.size());

@@ -138,6 +138,11 @@ class CrasServer {
     // "Making all the read requests to disks in cylinder order to minimize
     // the seek time" (§2.2). Off only for the A2 ablation.
     bool sort_requests_by_cylinder = true;
+    // Observability hub (nullable). When set, the server instruments the
+    // whole stack: the volume's member disks and drivers, the admission
+    // model, per-stream buffers, interval spans, per-batch prefetch spans,
+    // and a deadline-slack histogram. Null costs one pointer test per site.
+    crobs::Hub* obs = nullptr;
   };
 
   // Single-disk constructors: wrap `driver` in a one-disk volume; behaviour
@@ -153,6 +158,9 @@ class CrasServer {
              const Options& options);
   CrasServer(const CrasServer&) = delete;
   CrasServer& operator=(const CrasServer&) = delete;
+  // Reclaims client frames whose control messages were still queued
+  // unprocessed (the ports themselves reclaim blocked receivers).
+  ~CrasServer();
 
   // Spawns the five server threads (idempotent).
   void Start();
@@ -167,25 +175,25 @@ class CrasServer {
 
   auto Open(OpenParams params) {
     return ControlAwaiter<crbase::Result<SessionId>>{
-        this, ControlMsg{ControlMsg::kOpen, kInvalidSession, std::move(params), 0, 0, nullptr}};
+        this, ControlMsg{ControlMsg::kOpen, kInvalidSession, std::move(params), 0, 0, nullptr, {}}};
   }
   auto Close(SessionId id) {
     return ControlAwaiter<crbase::Status>{
-        this, ControlMsg{ControlMsg::kClose, id, OpenParams{}, 0, 0, nullptr}};
+        this, ControlMsg{ControlMsg::kClose, id, OpenParams{}, 0, 0, nullptr, {}}};
   }
   // Starts prefetching and the logical clock; logical zero is reached after
   // `initial_delay` (use SuggestedInitialDelay()).
   auto StartStream(SessionId id, crbase::Duration initial_delay) {
     return ControlAwaiter<crbase::Status>{
-        this, ControlMsg{ControlMsg::kStart, id, OpenParams{}, initial_delay, 0, nullptr}};
+        this, ControlMsg{ControlMsg::kStart, id, OpenParams{}, initial_delay, 0, nullptr, {}}};
   }
   auto StopStream(SessionId id) {
     return ControlAwaiter<crbase::Status>{
-        this, ControlMsg{ControlMsg::kStop, id, OpenParams{}, 0, 0, nullptr}};
+        this, ControlMsg{ControlMsg::kStop, id, OpenParams{}, 0, 0, nullptr, {}}};
   }
   auto Seek(SessionId id, crbase::Time logical) {
     return ControlAwaiter<crbase::Status>{
-        this, ControlMsg{ControlMsg::kSeek, id, OpenParams{}, 0, logical, nullptr}};
+        this, ControlMsg{ControlMsg::kSeek, id, OpenParams{}, 0, logical, nullptr, {}}};
   }
   // Changes the retrieval/clock rate factor mid-session (fast-forward or
   // return to normal speed). Re-runs the admission test at the new rate:
@@ -193,7 +201,7 @@ class CrasServer {
   // session continues unchanged. Buffer reservation is adjusted to the new
   // B_i.
   auto SetRate(SessionId id, double rate_factor) {
-    ControlMsg msg{ControlMsg::kSetRate, id, OpenParams{}, 0, 0, nullptr};
+    ControlMsg msg{ControlMsg::kSetRate, id, OpenParams{}, 0, 0, nullptr, {}};
     msg.params.rate_factor = rate_factor;
     return ControlAwaiter<crbase::Status>{this, std::move(msg)};
   }
@@ -234,6 +242,17 @@ class CrasServer {
     crbase::Duration initial_delay = 0;
     crbase::Time seek_to = 0;
     std::function<void(crbase::Result<SessionId>)> done;
+    // The client frame suspended until `done` fires. Owning: dropping the
+    // message (queued at teardown, or held in a reclaimed server frame)
+    // destroys the client's chain with it.
+    crsim::ParkedHandle parked;
+
+    // Resumes the client. Releases `parked` first: once resumed the client
+    // frame is live again and no longer ours to reclaim.
+    void Complete(crbase::Result<SessionId> result) {
+      parked.release();
+      done(std::move(result));
+    }
   };
 
   template <typename R>
@@ -248,6 +267,7 @@ class CrasServer {
         raw = std::move(r);
         h.resume();
       };
+      msg.parked = crsim::ParkedHandle(h);
       server->control_port_.Send(std::move(msg));
     }
     R await_resume() {
@@ -318,6 +338,25 @@ class CrasServer {
   const Session* FindSession(SessionId id) const;
   std::vector<StreamDemand> CurrentDemands() const;
 
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;          // "cras" — the scheduler's track
+    std::uint32_t n_interval = 0;     // B/E span per scheduler tick
+    std::uint32_t cat_batch = 0;      // async category for prefetch batches
+    std::uint32_t n_prefetch = 0;     // async span, issue -> last completion
+    std::uint32_t n_slack = 0;        // counter samples of deadline slack
+    std::uint32_t n_miss = 0;         // instant per deadline miss
+    crobs::Counter* sessions_opened = nullptr;
+    crobs::Counter* sessions_rejected = nullptr;
+    crobs::Counter* deadline_misses = nullptr;
+    crobs::Counter* bytes_read = nullptr;
+    crobs::Counter* bytes_written = nullptr;
+    crobs::Counter* read_requests = nullptr;
+    crobs::Counter* write_requests = nullptr;
+    crobs::Histogram* deadline_slack_ms = nullptr;
+  };
+  void AttachObs(crobs::Hub* hub);
+
   crrt::Kernel* kernel_;
   // Set only by the single-driver constructors (the wrapping volume).
   std::unique_ptr<crvol::StripedVolume> owned_volume_;
@@ -342,6 +381,8 @@ class CrasServer {
 
   std::vector<IntervalRecord> interval_records_;
   ServerStats stats_;
+
+  std::unique_ptr<ObsState> obs_;
 
   std::vector<crsim::Task> threads_;
   bool started_ = false;

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/core/cras.h"
+#include "src/obs/obs.h"
 #include "src/disk/device.h"
 #include "src/disk/driver.h"
 #include "src/rtmach/kernel.h"
@@ -27,6 +28,9 @@ struct TestbedOptions {
   crufs::Ufs::Options ufs;
   crufs::UnixServer::Options unix_server;
   CrasServer::Options cras;
+  // Hub configuration (tracing off by default; metrics always on — the
+  // registry only holds what attached components register).
+  crobs::Hub::Options obs;
 };
 
 class Testbed {
@@ -35,11 +39,12 @@ class Testbed {
 
   explicit Testbed(const TestbedOptions& options)
       : kernel(options.kernel),
+        hub(kernel.engine(), options.obs),
         device(kernel.engine(), options.device),
         driver(kernel.engine(), device, options.driver),
         fs(options.ufs),
         unix_server(kernel, driver, fs, options.unix_server),
-        cras_server(kernel, driver, fs, options.cras) {}
+        cras_server(kernel, driver, fs, WithObs(options.cras, &hub)) {}
 
   // Starts both servers.
   void StartServers() {
@@ -51,11 +56,20 @@ class Testbed {
   crbase::Time Now() const { return kernel.Now(); }
 
   crrt::Kernel kernel;
+  // Attached to every layer through the CRAS server's options; benches and
+  // tests read snapshots (hub.MetricsJson()) or dump traces from here.
+  crobs::Hub hub;
   crdisk::DiskDevice device;
   crdisk::DiskDriver driver;
   crufs::Ufs fs;
   crufs::UnixServer unix_server;
   CrasServer cras_server;
+
+ private:
+  static CrasServer::Options WithObs(CrasServer::Options cras, crobs::Hub* hub) {
+    cras.obs = hub;
+    return cras;
+  }
 };
 
 struct VolumeTestbedOptions {
@@ -64,6 +78,7 @@ struct VolumeTestbedOptions {
   crufs::Ufs::Options ufs;
   crufs::UnixServer::Options unix_server;
   CrasServer::Options cras;
+  crobs::Hub::Options obs;
 };
 
 // The multi-disk rig: N identical member disks behind a StripedVolume, with
@@ -74,10 +89,11 @@ class VolumeTestbed {
 
   explicit VolumeTestbed(const VolumeTestbedOptions& options)
       : kernel(options.kernel),
+        hub(kernel.engine(), options.obs),
         volume(kernel.engine(), options.volume),
         fs(UfsOptionsFor(volume, options.ufs)),
         unix_server(kernel, volume, fs, options.unix_server),
-        cras_server(kernel, volume, fs, options.cras) {}
+        cras_server(kernel, volume, fs, WithObs(options.cras, &hub)) {}
 
   // Starts both servers.
   void StartServers() {
@@ -89,12 +105,18 @@ class VolumeTestbed {
   crbase::Time Now() const { return kernel.Now(); }
 
   crrt::Kernel kernel;
+  crobs::Hub hub;
   crvol::StripedVolume volume;
   crufs::Ufs fs;
   crufs::UnixServer unix_server;
   CrasServer cras_server;
 
  private:
+  static CrasServer::Options WithObs(CrasServer::Options cras, crobs::Hub* hub) {
+    cras.obs = hub;
+    return cras;
+  }
+
   static crufs::Ufs::Options UfsOptionsFor(const crvol::StripedVolume& volume,
                                            crufs::Ufs::Options ufs) {
     ufs.geometry = volume.geometry();

@@ -12,19 +12,55 @@ TimeDrivenBuffer::TimeDrivenBuffer(std::int64_t capacity_bytes, Duration jitter_
   CRAS_CHECK(jitter_allowance >= 0);
 }
 
+void TimeDrivenBuffer::AttachObs(crobs::Hub* hub, const std::string& stream) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Tracer& trace = hub->trace();
+  obs->track = trace.InternTrack("buffers");
+  obs->name = trace.InternName(stream);
+  crobs::Registry& metrics = hub->metrics();
+  obs->resident = metrics.GetGauge("buffer.resident_bytes", {{"stream", stream}});
+  obs->puts = metrics.GetCounter("buffer.puts", {{"stream", stream}});
+  obs->discarded = metrics.GetCounter("buffer.discarded", {{"stream", stream}});
+  obs->evictions = metrics.GetCounter("buffer.overflow_evictions", {{"stream", stream}});
+  obs_ = std::move(obs);
+  RecordOccupancy();
+}
+
+void TimeDrivenBuffer::RecordOccupancy() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->resident->Set(static_cast<double>(resident_bytes_));
+  crobs::Tracer& trace = obs_->hub->trace();
+  if (trace.enabled()) {
+    trace.CounterSample(obs_->track, obs_->name, static_cast<double>(resident_bytes_));
+  }
+}
+
 void TimeDrivenBuffer::DiscardObsolete(Time logical_now) {
   const Time discard_before = logical_now - jitter_allowance_;
   auto it = chunks_.begin();
+  std::int64_t discarded = 0;
   while (it != chunks_.end()) {
     const BufferedChunk& c = it->second;
     if (c.timestamp + c.duration <= discard_before) {
       resident_bytes_ -= c.size;
       ++stats_.discarded_obsolete;
+      ++discarded;
       it = chunks_.erase(it);
     } else {
       // Keyed by timestamp: everything later is still live.
       break;
     }
+  }
+  if (discarded > 0 && obs_ != nullptr) {
+    obs_->discarded->Add(discarded);
+    RecordOccupancy();
   }
 }
 
@@ -49,11 +85,18 @@ void TimeDrivenBuffer::Put(const BufferedChunk& chunk, Time logical_now) {
     resident_bytes_ -= oldest->second.size;
     chunks_.erase(oldest);
     ++stats_.overflow_evictions;
+    if (obs_ != nullptr) {
+      obs_->evictions->Add();
+    }
   }
   chunks_.emplace(chunk.timestamp, chunk);
   resident_bytes_ += chunk.size;
   stats_.max_resident_bytes = std::max(stats_.max_resident_bytes, resident_bytes_);
   ++stats_.puts;
+  if (obs_ != nullptr) {
+    obs_->puts->Add();
+    RecordOccupancy();
+  }
 }
 
 std::optional<BufferedChunk> TimeDrivenBuffer::Get(Time t) {
@@ -76,6 +119,7 @@ std::optional<BufferedChunk> TimeDrivenBuffer::Get(Time t) {
 void TimeDrivenBuffer::Clear() {
   chunks_.clear();
   resident_bytes_ = 0;
+  RecordOccupancy();
 }
 
 }  // namespace cras

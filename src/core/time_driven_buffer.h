@@ -17,9 +17,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string>
 
 #include "src/base/time_units.h"
+#include "src/obs/obs.h"
 
 namespace cras {
 
@@ -74,12 +77,31 @@ class TimeDrivenBuffer {
   // Drops everything (crs_seek repositions the stream).
   void Clear();
 
+  // Registers per-stream occupancy/discard instruments keyed {stream}
+  // ("s1", "s2", ...): an occupancy gauge (high-water via the snapshot's
+  // max), put/discard counters, and an occupancy counter-sample series on
+  // the "buffers" trace track.
+  void AttachObs(crobs::Hub* hub, const std::string& stream);
+
  private:
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;
+    std::uint32_t name = 0;
+    crobs::Gauge* resident = nullptr;
+    crobs::Counter* puts = nullptr;
+    crobs::Counter* discarded = nullptr;
+    crobs::Counter* evictions = nullptr;
+  };
+
+  void RecordOccupancy();
+
   std::int64_t capacity_bytes_;
   Duration jitter_allowance_;
   std::map<Time, BufferedChunk> chunks_;  // keyed by timestamp
   std::int64_t resident_bytes_ = 0;
   TimeDrivenBufferStats stats_;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace cras

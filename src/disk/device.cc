@@ -21,6 +21,31 @@ Duration DiskDevice::MeasureSeek(std::int64_t from_cylinder, std::int64_t to_cyl
   return options_.seek_model.SeekTime(std::abs(to_cylinder - from_cylinder));
 }
 
+void DiskDevice::AttachObs(crobs::Hub* hub, const std::string& name) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Tracer& trace = hub->trace();
+  obs->track = trace.InternTrack(name);
+  obs->n_io_rt = trace.InternName("io.rt");
+  obs->n_io_nr = trace.InternName("io.nr");
+  obs->n_command = trace.InternName("command");
+  obs->n_seek = trace.InternName("seek");
+  obs->n_rotation = trace.InternName("rotation");
+  obs->n_transfer = trace.InternName("transfer");
+  crobs::Registry& metrics = hub->metrics();
+  obs->requests = metrics.GetCounter("disk.requests", {{"disk", name}});
+  obs->sectors = metrics.GetCounter("disk.sectors", {{"disk", name}});
+  obs->service_ms_rt = metrics.GetHistogram("disk.service_ms", {{"disk", name}, {"queue", "rt"}},
+                                            crobs::LatencyBucketsMs());
+  obs->service_ms_nr = metrics.GetHistogram("disk.service_ms", {{"disk", name}, {"queue", "nr"}},
+                                            crobs::LatencyBucketsMs());
+  obs_ = std::move(obs);
+}
+
 void DiskDevice::InjectTransientFault(Duration extra_latency, int request_count) {
   CRAS_CHECK(extra_latency >= 0);
   CRAS_CHECK(request_count >= 0);
@@ -95,16 +120,35 @@ void DiskDevice::StartIo(const DiskRequest& req, std::uint64_t request_id,
   stats_.transfer_time += transfer;
   stats_.command_time += command;
 
+  if (obs_ != nullptr) {
+    obs_->requests->Add();
+    obs_->sectors->Add(req.sectors);
+    (req.realtime ? obs_->service_ms_rt : obs_->service_ms_nr)
+        ->Record(crobs::ToMillis(finish - now));
+    crobs::Tracer& trace = obs_->hub->trace();
+    if (trace.enabled()) {
+      // The whole service span, with its mechanical phases nested inside.
+      trace.Complete(obs_->track, req.realtime ? obs_->n_io_rt : obs_->n_io_nr, now, finish - now);
+      trace.Complete(obs_->track, obs_->n_command, now, command);
+      trace.Complete(obs_->track, obs_->n_seek, now + command, seek);
+      trace.Complete(obs_->track, obs_->n_rotation, head_settled, rotation);
+      trace.Complete(obs_->track, obs_->n_transfer, head_settled + rotation, transfer);
+    }
+  }
+
   auto on_complete = req.on_complete;
-  engine_->ScheduleAt(finish, [this, completion, on_complete] {
-    busy_ = false;
-    if (on_complete) {
-      on_complete(completion);
-    }
-    if (on_idle_) {
-      on_idle_();
-    }
-  });
+  engine_->ScheduleAt(
+      finish,
+      [this, completion, on_complete] {
+        busy_ = false;
+        if (on_complete) {
+          on_complete(completion);
+        }
+        if (on_idle_) {
+          on_idle_();
+        }
+      },
+      req.parked);
 }
 
 }  // namespace crdisk

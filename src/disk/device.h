@@ -7,11 +7,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 
 #include "src/base/time_units.h"
 #include "src/disk/geometry.h"
 #include "src/disk/request.h"
 #include "src/disk/seek_model.h"
+#include "src/obs/obs.h"
 #include "src/sim/engine.h"
 
 namespace crdisk {
@@ -66,7 +69,28 @@ class DiskDevice {
   // driver installs itself here.
   void set_on_idle(std::function<void()> fn) { on_idle_ = std::move(fn); }
 
+  // Registers this device's metrics and trace track under `name` ("disk0").
+  // Each request then records an "io.rt"/"io.nr" span with nested
+  // command/seek/rotation/transfer phases, plus request/sector counters and
+  // a service-time histogram keyed {disk, queue}.
+  void AttachObs(crobs::Hub* hub, const std::string& name);
+
  private:
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;
+    std::uint32_t n_io_rt = 0;
+    std::uint32_t n_io_nr = 0;
+    std::uint32_t n_command = 0;
+    std::uint32_t n_seek = 0;
+    std::uint32_t n_rotation = 0;
+    std::uint32_t n_transfer = 0;
+    crobs::Counter* requests = nullptr;
+    crobs::Counter* sectors = nullptr;
+    crobs::Histogram* service_ms_rt = nullptr;
+    crobs::Histogram* service_ms_nr = nullptr;
+  };
+
   // Platter angle in [0,1) revolutions at virtual time `t`.
   double AngleAt(crbase::Time t) const;
 
@@ -79,6 +103,7 @@ class DiskDevice {
   Duration fault_extra_latency_ = 0;
   int fault_requests_remaining_ = 0;
   std::int64_t faults_applied_ = 0;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace crdisk

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/sim/task.h"
 
 namespace crdisk {
 
@@ -13,6 +14,44 @@ DiskDriver::DiskDriver(crsim::Engine& engine, DiskDevice& device)
 DiskDriver::DiskDriver(crsim::Engine& engine, DiskDevice& device, const Options& options)
     : engine_(&engine), device_(&device), options_(options) {
   device_->set_on_idle([this] { MaybeDispatch(); });
+}
+
+DiskDriver::~DiskDriver() {
+  device_->set_on_idle({});
+  for (std::vector<Pending>* queue : {&rt_queue_, &normal_queue_}) {
+    // A queued request dispatched to the device would also be reachable via
+    // the completion event, but queued-and-undispatched ones only live here.
+    std::vector<Pending> pending = std::move(*queue);
+    for (const Pending& p : pending) {
+      if (p.req.parked) {
+        crsim::DestroyParkedChain(p.req.parked);
+      }
+    }
+  }
+}
+
+void DiskDriver::AttachObs(crobs::Hub* hub, const std::string& name) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Tracer& trace = hub->trace();
+  obs->track = trace.InternTrack(name + ".queue");
+  obs->cat_queue = trace.InternName("queue");
+  obs->n_rt = trace.InternName("rt");
+  obs->n_nr = trace.InternName("nr");
+  obs->n_depth_rt = trace.InternName("depth.rt");
+  obs->n_depth_nr = trace.InternName("depth.nr");
+  crobs::Registry& metrics = hub->metrics();
+  obs->submitted_rt = metrics.GetCounter("driver.submitted", {{"disk", name}, {"queue", "rt"}});
+  obs->submitted_nr = metrics.GetCounter("driver.submitted", {{"disk", name}, {"queue", "nr"}});
+  obs->queue_ms_rt = metrics.GetHistogram("driver.queue_ms", {{"disk", name}, {"queue", "rt"}},
+                                          crobs::LatencyBucketsMs());
+  obs->queue_ms_nr = metrics.GetHistogram("driver.queue_ms", {{"disk", name}, {"queue", "nr"}},
+                                          crobs::LatencyBucketsMs());
+  obs_ = std::move(obs);
 }
 
 std::uint64_t DiskDriver::Submit(DiskRequest req) {
@@ -26,6 +65,16 @@ std::uint64_t DiskDriver::Submit(DiskRequest req) {
   queue.push_back(std::move(pending));
   stats.submitted += 1;
   stats.max_depth = std::max(stats.max_depth, queue.size());
+
+  if (obs_ != nullptr) {
+    (realtime ? obs_->submitted_rt : obs_->submitted_nr)->Add();
+    crobs::Tracer& trace = obs_->hub->trace();
+    if (trace.enabled()) {
+      trace.AsyncBegin(obs_->track, obs_->cat_queue, realtime ? obs_->n_rt : obs_->n_nr, id);
+      trace.CounterSample(obs_->track, realtime ? obs_->n_depth_rt : obs_->n_depth_nr,
+                          static_cast<double>(queue.size()));
+    }
+  }
 
   MaybeDispatch();
   return id;
@@ -81,6 +130,17 @@ void DiskDriver::MaybeDispatch() {
   stats.completed += 1;
   stats.total_queue_time += waited;
   stats.max_queue_time = std::max(stats.max_queue_time, waited);
+
+  if (obs_ != nullptr) {
+    (from_rt ? obs_->queue_ms_rt : obs_->queue_ms_nr)->Record(crobs::ToMillis(waited));
+    crobs::Tracer& trace = obs_->hub->trace();
+    if (trace.enabled()) {
+      trace.AsyncEnd(obs_->track, obs_->cat_queue, from_rt ? obs_->n_rt : obs_->n_nr, next.id);
+      trace.CounterSample(obs_->track, from_rt ? obs_->n_depth_rt : obs_->n_depth_nr,
+                          static_cast<double>((from_rt ? rt_queue_ : normal_queue_).size()));
+    }
+  }
+
   device_->StartIo(next.req, next.id, next.enqueued_at);
 }
 

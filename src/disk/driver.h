@@ -13,12 +13,15 @@
 #define SRC_DISK_DRIVER_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/time_units.h"
 #include "src/disk/device.h"
 #include "src/disk/io_target.h"
 #include "src/disk/request.h"
+#include "src/obs/obs.h"
 #include "src/sim/engine.h"
 
 namespace crdisk {
@@ -49,10 +52,19 @@ class DiskDriver : public IoTarget {
   DiskDriver(crsim::Engine& engine, DiskDevice& device, const Options& options);
   DiskDriver(const DiskDriver&) = delete;
   DiskDriver& operator=(const DiskDriver&) = delete;
+  // Reclaims frames parked on requests still queued (never dispatched).
+  ~DiskDriver() override;
 
   // Enqueues a request; its on_complete callback fires at completion.
   // (Execute() for coroutine-friendly submission comes from IoTarget.)
   std::uint64_t Submit(DiskRequest req) override;
+
+  // Registers this driver's queue metrics and trace track under `name`
+  // ("disk0"). Each request records an async "rt"/"nr" span on the
+  // "<name>.queue" track from submission to dispatch, a queue-delay
+  // histogram keyed {disk, queue}, submitted counters, and depth counter
+  // samples.
+  void AttachObs(crobs::Hub* hub, const std::string& name);
 
   std::size_t realtime_depth() const { return rt_queue_.size(); }
   std::size_t normal_depth() const { return normal_queue_.size(); }
@@ -70,6 +82,20 @@ class DiskDriver : public IoTarget {
     std::uint64_t seq;  // FIFO tiebreak / FIFO discipline order
   };
 
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;
+    std::uint32_t cat_queue = 0;
+    std::uint32_t n_rt = 0;
+    std::uint32_t n_nr = 0;
+    std::uint32_t n_depth_rt = 0;
+    std::uint32_t n_depth_nr = 0;
+    crobs::Counter* submitted_rt = nullptr;
+    crobs::Counter* submitted_nr = nullptr;
+    crobs::Histogram* queue_ms_rt = nullptr;
+    crobs::Histogram* queue_ms_nr = nullptr;
+  };
+
   void MaybeDispatch();
   // Removes and returns the next request per the discipline. C-SCAN picks
   // the lowest cylinder at or beyond the current head position, wrapping to
@@ -85,6 +111,7 @@ class DiskDriver : public IoTarget {
   DriverQueueStats normal_stats_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace crdisk

@@ -40,6 +40,7 @@ class IoTarget {
         result = c;
         h.resume();
       };
+      req.parked = h;
       target->Submit(std::move(req));
     }
     DiskCompletion await_resume() { return result; }

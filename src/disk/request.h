@@ -3,6 +3,7 @@
 #ifndef SRC_DISK_REQUEST_H_
 #define SRC_DISK_REQUEST_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 
@@ -49,6 +50,11 @@ struct DiskRequest {
   // modification).
   bool realtime = false;
   std::function<void(const DiskCompletion&)> on_complete;
+  // When the request was submitted via IoTarget::Execute, the coroutine
+  // frame suspended until completion (on_complete resumes it). Lets queues
+  // and in-flight completion events reclaim the frame if the simulation is
+  // torn down before the request finishes.
+  std::coroutine_handle<> parked{};
 };
 
 }  // namespace crdisk

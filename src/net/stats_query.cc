@@ -1,0 +1,59 @@
+#include "src/net/stats_query.h"
+
+#include <memory>
+
+namespace crnet {
+
+StatsQueryService::StatsQueryService(crrt::Kernel& kernel, const crobs::Hub& hub, Link* link,
+                                     const Options& options)
+    : kernel_(&kernel), hub_(&hub), link_(link), options_(options), port_(kernel.engine()) {}
+
+StatsQueryService::StatsQueryService(crrt::Kernel& kernel, const crobs::Hub& hub, Link* link)
+    : StatsQueryService(kernel, hub, link, Options{}) {}
+
+StatsQueryService::~StatsQueryService() {
+  // Queries still queued hold their clients' parked chains; draining them
+  // lets each message's ParkedHandle reclaim its client.
+  QueryMsg msg;
+  while (port_.TryReceive(&msg)) {
+  }
+}
+
+void StatsQueryService::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = kernel_->Spawn("stats-query", options_.priority,
+                           [this](crrt::ThreadContext& ctx) { return ServiceThread(ctx); });
+}
+
+crsim::Task StatsQueryService::ServiceThread(crrt::ThreadContext& ctx) {
+  for (;;) {
+    QueryMsg msg = co_await port_.Receive();
+    co_await ctx.Compute(options_.cpu_per_query);
+    std::string json = hub_->MetricsJson();
+    ++stats_.queries;
+    stats_.reply_bytes += static_cast<std::int64_t>(json.size());
+    if (link_ == nullptr) {
+      msg.Complete(std::move(json));
+      continue;
+    }
+    // The reply is real traffic: it serializes onto the wire behind any
+    // stream packets already queued. One logical packet — fragmentation
+    // would not change the arrival time of the final byte on a FIFO link.
+    auto reply = std::make_shared<QueryMsg>(std::move(msg));
+    auto payload = std::make_shared<std::string>(std::move(json));
+    const std::int64_t bytes = static_cast<std::int64_t>(payload->size());
+    const bool sent = link_->Send(bytes, [reply, payload] {
+      reply->Complete(std::move(*payload));
+    });
+    if (!sent) {
+      // Transmit queue full: fail the query with an empty reply rather than
+      // leaving the client parked forever.
+      reply->Complete(std::string());
+    }
+  }
+}
+
+}  // namespace crnet

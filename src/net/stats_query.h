@@ -1,0 +1,113 @@
+// StatsQuery — remote observability over the NPS transport layer.
+//
+// The paper's qtserver host is headless: the operator watches it from the
+// client host. This service gives that client a way to pull the server's
+// whole metrics registry over the wire: a StatsQuery message lands on the
+// service's port, a server-host thread renders the hub's snapshot to JSON
+// ({"sim_time_ns": ..., "metrics": {...}}), and the reply ships back across
+// the Link at link bandwidth (a stat dump is itself network traffic — on a
+// 10 Mb/s segment a verbose snapshot visibly delays the next one).
+//
+// Usage, from any simulated thread:
+//
+//   crnet::StatsQueryService stats(kernel, hub, &link);
+//   stats.Start();
+//   std::string json = co_await stats.Query();
+
+#ifndef SRC_NET_STATS_QUERY_H_
+#define SRC_NET_STATS_QUERY_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/base/time_units.h"
+#include "src/net/link.h"
+#include "src/obs/obs.h"
+#include "src/rtmach/kernel.h"
+#include "src/sim/port.h"
+#include "src/sim/task.h"
+
+namespace crnet {
+
+struct StatsQueryStats {
+  std::int64_t queries = 0;
+  std::int64_t reply_bytes = 0;
+};
+
+class StatsQueryService {
+ public:
+  struct Options {
+    // CPU charged for rendering one snapshot (walking the registry and
+    // serializing; cheap but not free on the paper's 100 MHz Pentium).
+    crbase::Duration cpu_per_query = crbase::Microseconds(500);
+    // Below CRAS and NPS senders: a stat dump must never delay stream I/O.
+    int priority = crrt::kPriorityServer - 2;
+  };
+
+  // `link` may be null: replies then resolve without network delay (a
+  // same-host query through shared memory).
+  StatsQueryService(crrt::Kernel& kernel, const crobs::Hub& hub, Link* link,
+                    const Options& options);
+  StatsQueryService(crrt::Kernel& kernel, const crobs::Hub& hub, Link* link);
+  StatsQueryService(const StatsQueryService&) = delete;
+  StatsQueryService& operator=(const StatsQueryService&) = delete;
+  // Reclaims client frames whose queries were still queued unprocessed.
+  ~StatsQueryService();
+
+  // Spawns the service thread (idempotent).
+  void Start();
+
+  // Client-side blocking query:
+  // `std::string json = co_await service.Query();`
+  auto Query() { return QueryAwaiter{this, {}, {}}; }
+
+  const StatsQueryStats& stats() const { return stats_; }
+
+ private:
+  struct QueryMsg {
+    std::function<void(std::string)> done;
+    // Client frame suspended until `done` fires. Owning: dropping the
+    // message destroys the client's chain with it.
+    crsim::ParkedHandle parked;
+
+    void Complete(std::string json) {
+      parked.release();
+      done(std::move(json));
+    }
+  };
+
+  struct QueryAwaiter {
+    StatsQueryService* service;
+    QueryMsg msg;
+    std::string result;
+
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      msg.done = [this, h](std::string json) {
+        result = std::move(json);
+        h.resume();
+      };
+      msg.parked = crsim::ParkedHandle(h);
+      service->port_.Send(std::move(msg));
+    }
+    std::string await_resume() { return std::move(result); }
+  };
+
+  crsim::Task ServiceThread(crrt::ThreadContext& ctx);
+
+  crrt::Kernel* kernel_;
+  const crobs::Hub* hub_;
+  Link* link_;
+  Options options_;
+  crsim::Port<QueryMsg> port_;
+  StatsQueryStats stats_;
+  crsim::Task thread_;
+  bool started_ = false;
+};
+
+}  // namespace crnet
+
+#endif  // SRC_NET_STATS_QUERY_H_

@@ -1,0 +1,66 @@
+// Minimal JSON emission helpers for the observability layer.
+//
+// The repo deliberately has no third-party JSON dependency; the snapshot and
+// trace serializers only ever *write* JSON, so a string escaper and a
+// locale-independent number formatter are all that is needed.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace crobs {
+
+// Writes `s` as a JSON string literal, quotes included.
+inline void WriteJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Writes a double as a JSON number. JSON has no NaN/Inf; those degrade to
+// null so the document stays parseable.
+inline void WriteJsonNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+}  // namespace crobs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,225 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/obs/json.h"
+
+namespace crobs {
+
+namespace {
+
+Labels Normalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// "k1=v1,k2=v2" over normalized labels; '=' and ',' inside values are
+// escaped so distinct label sets cannot collide.
+std::string SeriesKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    for (const std::string* part : {&k, &v}) {
+      for (const char c : *part) {
+        if (c == '=' || c == ',' || c == '\\') {
+          key.push_back('\\');
+        }
+        key.push_back(c);
+      }
+      key.push_back(part == &k ? '=' : ',');
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---- Snapshot ----
+
+const SeriesSnapshot* RegistrySnapshot::Find(std::string_view name, Labels labels) const {
+  labels = Normalize(std::move(labels));
+  for (const FamilySnapshot& family : families) {
+    if (family.name != name) {
+      continue;
+    }
+    for (const SeriesSnapshot& series : family.series) {
+      if (series.labels == labels) {
+        return &series;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void RegistrySnapshot::WriteJson(std::ostream& out) const {
+  out << "{";
+  bool first_family = true;
+  for (const FamilySnapshot& family : families) {
+    if (!first_family) {
+      out << ",";
+    }
+    first_family = false;
+    out << "\n  ";
+    WriteJsonString(out, family.name);
+    out << ": {\"type\": \"" << MetricKindName(family.kind) << "\", \"series\": [";
+    bool first_series = true;
+    for (const SeriesSnapshot& series : family.series) {
+      if (!first_series) {
+        out << ",";
+      }
+      first_series = false;
+      out << "\n    {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) {
+          out << ", ";
+        }
+        first_label = false;
+        WriteJsonString(out, k);
+        out << ": ";
+        WriteJsonString(out, v);
+      }
+      out << "}";
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out << ", \"value\": " << series.counter;
+          break;
+        case MetricKind::kGauge:
+          out << ", \"value\": ";
+          WriteJsonNumber(out, series.gauge);
+          break;
+        case MetricKind::kHistogram: {
+          out << ", \"count\": " << series.count;
+          out << ", \"min\": ";
+          WriteJsonNumber(out, series.min);
+          out << ", \"max\": ";
+          WriteJsonNumber(out, series.max);
+          out << ", \"mean\": ";
+          WriteJsonNumber(out, series.mean);
+          out << ", \"stddev\": ";
+          WriteJsonNumber(out, series.stddev);
+          out << ", \"buckets\": [";
+          for (std::size_t i = 0; i < series.buckets.size(); ++i) {
+            if (i > 0) {
+              out << ", ";
+            }
+            out << "{\"le\": ";
+            if (i < series.upper_bounds.size()) {
+              WriteJsonNumber(out, series.upper_bounds[i]);
+            } else {
+              out << "\"inf\"";
+            }
+            out << ", \"count\": " << series.buckets[i] << "}";
+          }
+          out << "]";
+          break;
+        }
+      }
+      out << "}";
+    }
+    out << "\n  ]}";
+  }
+  out << "\n}";
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+// ---- Registry ----
+
+Registry::Series* Registry::GetSeries(const std::string& name, MetricKind kind, Labels labels) {
+  labels = Normalize(std::move(labels));
+  auto [family_it, inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (inserted) {
+    family.kind = kind;
+  } else {
+    CRAS_CHECK(family.kind == kind)
+        << "metric '" << name << "' registered as " << MetricKindName(family.kind)
+        << " and again as " << MetricKindName(kind);
+  }
+  Series& series = family.series[SeriesKey(labels)];
+  series.labels = std::move(labels);
+  return &series;
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels) {
+  Series* series = GetSeries(name, MetricKind::kCounter, std::move(labels));
+  if (series->counter == nullptr) {
+    series->counter = std::make_unique<Counter>();
+  }
+  return series->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels) {
+  Series* series = GetSeries(name, MetricKind::kGauge, std::move(labels));
+  if (series->gauge == nullptr) {
+    series->gauge = std::make_unique<Gauge>();
+  }
+  return series->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, Labels labels,
+                                  std::vector<double> upper_bounds) {
+  Series* series = GetSeries(name, MetricKind::kHistogram, std::move(labels));
+  if (series->histogram == nullptr) {
+    series->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return series->histogram.get();
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  snapshot.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.kind = family.kind;
+    fs.series.reserve(family.series.size());
+    for (const auto& [key, series] : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          ss.counter = series.counter != nullptr ? series.counter->value() : 0;
+          break;
+        case MetricKind::kGauge:
+          ss.gauge = series.gauge != nullptr ? series.gauge->value() : 0;
+          break;
+        case MetricKind::kHistogram:
+          if (series.histogram != nullptr) {
+            const crstats::Histogram& h = series.histogram->data();
+            ss.count = h.summary().count();
+            ss.min = h.summary().min();
+            ss.max = h.summary().max();
+            ss.mean = h.summary().mean();
+            ss.stddev = h.summary().stddev();
+            ss.upper_bounds = h.upper_bounds();
+            ss.buckets = h.counts();
+          }
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snapshot.families.push_back(std::move(fs));
+  }
+  return snapshot;
+}
+
+}  // namespace crobs

@@ -1,0 +1,146 @@
+// Metrics registry: named, label-keyed counters, gauges, and fixed-bin
+// histograms with cheap inline recording.
+//
+// Instruments are looked up once (registration walks a map) and then held by
+// pointer at the recording site, so the hot path is a single add/store —
+// cheap enough for per-request simulator paths. Registration of the same
+// (name, labels) pair returns the same instrument, so independent components
+// may share a series. Snapshot() renders the whole registry into a
+// deterministic tree (families and series in lexicographic order), which the
+// JSON serializer and the snapshot-determinism tests rely on.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/stats/summary.h"
+
+namespace crobs {
+
+// Label set attached to one series of a metric family, e.g.
+// {{"disk", "disk0"}, {"queue", "rt"}}. Order does not matter; the registry
+// normalizes by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// Monotonically non-decreasing count.
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Last-written value (with convenience accumulate/max forms).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  void SetMax(double v) {
+    if (v > value_) {
+      value_ = v;
+    }
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Fixed-bin histogram (crstats::Histogram) behind the registry interface.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds) : data_(std::move(upper_bounds)) {}
+  void Record(double x) { data_.Add(x); }
+  std::int64_t count() const { return data_.summary().count(); }
+  const crstats::Histogram& data() const { return data_; }
+
+ private:
+  crstats::Histogram data_;
+};
+
+// ---- Snapshot tree ----
+
+struct SeriesSnapshot {
+  Labels labels;  // normalized (sorted by key)
+  // Exactly one of the following is meaningful, per the family's kind.
+  std::int64_t counter = 0;
+  double gauge = 0;
+  std::int64_t count = 0;  // histogram sample count
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+  std::vector<double> upper_bounds;
+  std::vector<std::int64_t> buckets;  // one per bound, plus trailing overflow
+};
+
+struct FamilySnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<SeriesSnapshot> series;
+};
+
+struct RegistrySnapshot {
+  std::vector<FamilySnapshot> families;  // lexicographic by name
+
+  // Series lookup, or nullptr. `labels` need not be pre-sorted.
+  const SeriesSnapshot* Find(std::string_view name, Labels labels = {}) const;
+
+  // {"metric.name": {"type": "counter", "series": [{"labels": {...}, ...}]}}
+  void WriteJson(std::ostream& out) const;
+  std::string ToJson() const;
+};
+
+// ---- Registry ----
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Find-or-create. Registering a name under two different kinds is a
+  // programming error (checked). Returned pointers stay valid for the
+  // registry's lifetime — cache them at the recording site.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  Histogram* GetHistogram(const std::string& name, Labels labels,
+                          std::vector<double> upper_bounds);
+
+  std::size_t families() const { return families_.size(); }
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::map<std::string, Series> series;  // keyed by serialized labels
+  };
+
+  Series* GetSeries(const std::string& name, MetricKind kind, Labels labels);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace crobs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,32 @@
+#include "src/obs/obs.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/base/logging.h"
+
+namespace crobs {
+
+void Hub::WriteMetricsJson(std::ostream& out) const {
+  out << "{\"sim_time_ns\": " << engine_->Now() << ", \"metrics\": ";
+  metrics_.Snapshot().WriteJson(out);
+  out << "}\n";
+}
+
+std::string Hub::MetricsJson() const {
+  std::ostringstream out;
+  WriteMetricsJson(out);
+  return out.str();
+}
+
+bool Hub::WriteTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    CRAS_LOG(kError) << "cannot open trace file " << path;
+    return false;
+  }
+  tracer_.WriteChromeJson(out);
+  return out.good();
+}
+
+}  // namespace crobs

@@ -1,0 +1,64 @@
+// Observability hub: one Registry + one Tracer per simulation.
+//
+// Components receive a `crobs::Hub*` (nullable) through their Options and
+// register instruments / intern trace tracks at construction. A null hub —
+// the default everywhere — means no instrumentation state is even allocated,
+// so the uninstrumented path costs one pointer test.
+
+#ifndef SRC_OBS_OBS_H_
+#define SRC_OBS_OBS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/base/time_units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/engine.h"
+
+namespace crobs {
+
+// Nanoseconds -> milliseconds, the unit all latency metrics use.
+inline double ToMillis(crbase::Duration d) { return static_cast<double>(d) / 1e6; }
+
+// Default fixed bins for latency histograms (milliseconds).
+inline std::vector<double> LatencyBucketsMs() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+}
+
+class Hub {
+ public:
+  struct Options {
+    Tracer::Options trace;
+  };
+
+  explicit Hub(const crsim::Engine& engine, const Options& options = {})
+      : engine_(&engine), tracer_(engine, options.trace) {}
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  Tracer& trace() { return tracer_; }
+  const Tracer& trace() const { return tracer_; }
+
+  crbase::Time Now() const { return engine_->Now(); }
+
+  // {"sim_time_ns": ..., "metrics": {<registry snapshot>}}
+  void WriteMetricsJson(std::ostream& out) const;
+  std::string MetricsJson() const;
+
+  // Writes the trace ring as Chrome trace_event JSON. Returns false (and
+  // logs) if the file cannot be opened.
+  bool WriteTraceFile(const std::string& path) const;
+
+ private:
+  const crsim::Engine* engine_;
+  Registry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace crobs
+
+#endif  // SRC_OBS_OBS_H_

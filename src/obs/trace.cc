@@ -1,0 +1,186 @@
+#include "src/obs/trace.h"
+
+#include "src/base/logging.h"
+#include "src/obs/json.h"
+
+namespace crobs {
+
+namespace {
+
+constexpr int kPid = 1;  // single simulated process
+
+// Virtual nanoseconds -> trace_event microseconds (double keeps sub-us
+// resolution; Perfetto accepts fractional ts).
+double ToMicros(crbase::Time ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+Tracer::Tracer(const crsim::Engine& engine, const Options& options)
+    : engine_(&engine),
+      enabled_(options.enabled),
+      capacity_(options.capacity == 0 ? 1 : options.capacity) {
+  strings_.emplace_back("");  // id 0 = unnamed
+  buffer_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+std::uint32_t Tracer::InternName(const std::string& name) {
+  const auto it = string_ids_.find(name);
+  if (it != string_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.push_back(name);
+  string_ids_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t Tracer::InternTrack(const std::string& name) {
+  const std::uint32_t string_id = InternName(name);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == string_id) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  tracks_.push_back(string_id);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::Push(const TraceEvent& event) {
+  ++recorded_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  // Ring overwrite: drop the oldest event.
+  buffer_[start_] = event;
+  start_ = (start_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Begin(std::uint32_t track, std::uint32_t name) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kBegin, track, name, 0, engine_->Now(), 0, 0, 0});
+}
+
+void Tracer::End(std::uint32_t track, std::uint32_t name) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kEnd, track, name, 0, engine_->Now(), 0, 0, 0});
+}
+
+void Tracer::Complete(std::uint32_t track, std::uint32_t name, crbase::Time start,
+                      crbase::Duration dur) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kComplete, track, name, 0, start, dur, 0, 0});
+}
+
+void Tracer::Instant(std::uint32_t track, std::uint32_t name, double value) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kInstant, track, name, 0, engine_->Now(), 0, 0, value});
+}
+
+void Tracer::CounterSample(std::uint32_t track, std::uint32_t name, double value) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kCounter, track, name, 0, engine_->Now(), 0, 0, value});
+}
+
+void Tracer::AsyncBegin(std::uint32_t track, std::uint32_t category, std::uint32_t name,
+                        std::uint64_t id) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kAsyncBegin, track, name, category, engine_->Now(), 0, id, 0});
+}
+
+void Tracer::AsyncEnd(std::uint32_t track, std::uint32_t category, std::uint32_t name,
+                      std::uint64_t id) {
+  if (!enabled_) {
+    return;
+  }
+  Push({TraceEventType::kAsyncEnd, track, name, category, engine_->Now(), 0, id, 0});
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> events;
+  events.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    events.push_back(buffer_[(start_ + i) % buffer_.size()]);
+  }
+  return events;
+}
+
+void Tracer::WriteChromeJson(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n  ";
+  };
+
+  comma();
+  out << "{\"ph\": \"M\", \"pid\": " << kPid
+      << ", \"name\": \"process_name\", \"args\": {\"name\": \"cras-sim\"}}";
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    comma();
+    out << "{\"ph\": \"M\", \"pid\": " << kPid << ", \"tid\": " << tid
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    WriteJsonString(out, strings_[tracks_[tid]]);
+    out << "}}";
+  }
+
+  for (const TraceEvent& event : Events()) {
+    comma();
+    const std::string& name = strings_[event.name];
+    out << "{\"pid\": " << kPid << ", \"tid\": " << event.track << ", \"ts\": ";
+    WriteJsonNumber(out, ToMicros(event.ts));
+    out << ", \"name\": ";
+    WriteJsonString(out, name);
+    switch (event.type) {
+      case TraceEventType::kBegin:
+        out << ", \"ph\": \"B\"";
+        break;
+      case TraceEventType::kEnd:
+        out << ", \"ph\": \"E\"";
+        break;
+      case TraceEventType::kComplete:
+        out << ", \"ph\": \"X\", \"dur\": ";
+        WriteJsonNumber(out, ToMicros(event.dur));
+        break;
+      case TraceEventType::kInstant:
+        out << ", \"ph\": \"i\", \"s\": \"t\", \"args\": {\"value\": ";
+        WriteJsonNumber(out, event.value);
+        out << "}";
+        break;
+      case TraceEventType::kCounter:
+        out << ", \"ph\": \"C\", \"args\": {";
+        WriteJsonString(out, name);
+        out << ": ";
+        WriteJsonNumber(out, event.value);
+        out << "}";
+        break;
+      case TraceEventType::kAsyncBegin:
+      case TraceEventType::kAsyncEnd:
+        out << ", \"ph\": \"" << (event.type == TraceEventType::kAsyncBegin ? 'b' : 'e')
+            << "\", \"cat\": ";
+        WriteJsonString(out, strings_[event.category]);
+        out << ", \"id\": \"" << event.async_id << "\"";
+        break;
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace crobs

@@ -1,0 +1,122 @@
+// Simulation-time tracer.
+//
+// Records typed events — span begin/end, complete spans with explicit
+// duration, instants, counter samples, and async (overlapping) spans —
+// stamped with the engine's virtual time and a *track* identity (a simulated
+// thread, device, or queue). Events land in a bounded ring buffer: when the
+// buffer is full the oldest event is overwritten, so a long run keeps its
+// most recent history (the part that explains why the run ended the way it
+// did) at a fixed memory cost.
+//
+// Export is Chrome trace_event JSON ("JSON Array Format"), loadable in
+// chrome://tracing and Perfetto. Mapping:
+//
+//   kBegin/kEnd     -> ph "B"/"E"   nested spans on one track
+//   kComplete       -> ph "X"       span with explicit ts + dur
+//   kInstant        -> ph "i"       point event (thread scope)
+//   kCounter        -> ph "C"       numeric counter track
+//   kAsyncBegin/End -> ph "b"/"e"   overlapping spans keyed by (category, id)
+//
+// Track and name strings are interned once (typically at component
+// construction); the per-event hot path is an enabled check plus a struct
+// store. A disabled tracer records nothing and costs one branch.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time_units.h"
+#include "src/sim/engine.h"
+
+namespace crobs {
+
+enum class TraceEventType : std::uint8_t {
+  kBegin,
+  kEnd,
+  kComplete,
+  kInstant,
+  kCounter,
+  kAsyncBegin,
+  kAsyncEnd,
+};
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kInstant;
+  std::uint32_t track = 0;     // interned track id (exported as tid)
+  std::uint32_t name = 0;      // interned string id
+  std::uint32_t category = 0;  // interned string id; async spans match on it
+  crbase::Time ts = 0;
+  crbase::Duration dur = 0;    // kComplete only
+  std::uint64_t async_id = 0;  // kAsyncBegin/kAsyncEnd
+  double value = 0;            // kCounter sample / kInstant numeric argument
+};
+
+class Tracer {
+ public:
+  struct Options {
+    bool enabled = false;
+    std::size_t capacity = 1 << 16;  // events retained; oldest dropped first
+  };
+
+  Tracer(const crsim::Engine& engine, const Options& options);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Interning: stable ids for track and event-name strings. Idempotent per
+  // string; intended to run at component construction, not per event.
+  std::uint32_t InternTrack(const std::string& name);
+  std::uint32_t InternName(const std::string& name);
+
+  // Recording. All calls are no-ops while disabled. Timestamps come from
+  // the engine's virtual clock, except Complete, whose span may have been
+  // computed ahead of time (a disk service with a known finish time).
+  void Begin(std::uint32_t track, std::uint32_t name);
+  void End(std::uint32_t track, std::uint32_t name);
+  void Complete(std::uint32_t track, std::uint32_t name, crbase::Time start,
+                crbase::Duration dur);
+  void Instant(std::uint32_t track, std::uint32_t name, double value = 0);
+  void CounterSample(std::uint32_t track, std::uint32_t name, double value);
+  void AsyncBegin(std::uint32_t track, std::uint32_t category, std::uint32_t name,
+                  std::uint64_t id);
+  void AsyncEnd(std::uint32_t track, std::uint32_t category, std::uint32_t name,
+                std::uint64_t id);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  // Events oldest-first (after any ring overwrites).
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace_event JSON; includes process/thread-name metadata so tracks
+  // show up labeled in Perfetto.
+  void WriteChromeJson(std::ostream& out) const;
+
+ private:
+  void Push(const TraceEvent& event);
+
+  const crsim::Engine* engine_;
+  bool enabled_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t start_ = 0;  // ring head once the buffer has wrapped
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<std::string> strings_;  // id -> string; [0] reserved
+  std::unordered_map<std::string, std::uint32_t> string_ids_;
+  std::vector<std::uint32_t> tracks_;  // interned string ids, in track order
+};
+
+}  // namespace crobs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -69,7 +69,7 @@ class PeriodicTimer {
       return tick.lateness > 0;  // already past the boundary: no sleep
     }
     void await_suspend(std::coroutine_handle<> h) {
-      timer->engine_->ScheduleAt(tick.scheduled_at, [h] { h.resume(); });
+      timer->engine_->ScheduleResumeAt(tick.scheduled_at, h);
     }
     PeriodTick await_resume() { return tick; }
   };

@@ -8,6 +8,7 @@
 
 #include "src/base/time_units.h"
 #include "src/sim/engine.h"
+#include "src/sim/task.h"
 
 namespace crsim {
 
@@ -17,9 +18,7 @@ struct SleepAwaiter {
   Duration delay;
 
   bool await_ready() const { return delay <= 0; }
-  void await_suspend(std::coroutine_handle<> h) {
-    engine->ScheduleAfter(delay, [h] { h.resume(); });
-  }
+  void await_suspend(std::coroutine_handle<> h) { engine->ScheduleResumeAfter(delay, h); }
   void await_resume() const {}
 };
 
@@ -36,12 +35,19 @@ class Gate {
  public:
   explicit Gate(Engine& engine, bool open = false) : engine_(&engine), open_(open) {}
 
+  ~Gate() {
+    std::vector<std::coroutine_handle<>> waiters = std::move(waiters_);
+    for (std::coroutine_handle<> h : waiters) {
+      DestroyParkedChain(h);
+    }
+  }
+
   void Open() {
     open_ = true;
     // Wake every waiter through the event queue so wakeups serialize with
     // other same-time events deterministically.
     for (std::coroutine_handle<> h : waiters_) {
-      engine_->ScheduleAfter(0, [h] { h.resume(); });
+      engine_->ScheduleResumeAfter(0, h);
     }
     waiters_.clear();
   }

@@ -1,8 +1,10 @@
 #include "src/sim/cpu.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/logging.h"
+#include "src/sim/task.h"
 
 namespace crsim {
 
@@ -19,6 +21,17 @@ const char* SchedPolicyName(SchedPolicy policy) {
 Cpu::Cpu(Engine& engine, SchedPolicy policy, Duration quantum)
     : engine_(&engine), policy_(policy), quantum_(quantum) {
   CRAS_CHECK(quantum_ > 0);
+}
+
+Cpu::~Cpu() {
+  std::deque<Request> ready = std::move(ready_);
+  for (const Request& request : ready) {
+    DestroyParkedChain(request.handle);
+  }
+  if (running_) {
+    running_ = false;
+    DestroyParkedChain(current_.handle);
+  }
 }
 
 void Cpu::RunAwaiter::await_suspend(std::coroutine_handle<> h) {

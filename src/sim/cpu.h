@@ -40,6 +40,8 @@ class Cpu {
       Duration quantum = crbase::Milliseconds(10));
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
+  // Reclaims frames still queued for (or holding) the processor.
+  ~Cpu();
 
   SchedPolicy policy() const { return policy_; }
   void set_policy(SchedPolicy policy) { policy_ = policy; }

@@ -3,24 +3,46 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/sim/task.h"
 
 namespace crsim {
 
-EventId Engine::ScheduleAt(Time t, Callback cb) {
+Engine::~Engine() {
+  // Destroying a parked frame runs frame-local destructors, which may
+  // release semaphores or send to ports and thereby schedule fresh events —
+  // hence the loop keeps draining until the heap is truly empty.
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    const std::coroutine_handle<> parked = top.parked;
+    const bool live = !cancelled_.contains(top.id);
+    heap_.pop();
+    if (parked && live) {
+      DestroyParkedChain(parked);
+    }
+  }
+}
+
+EventId Engine::ScheduleAt(Time t, Callback cb) { return ScheduleAt(t, std::move(cb), {}); }
+
+EventId Engine::ScheduleAt(Time t, Callback cb, std::coroutine_handle<> parked) {
   CRAS_CHECK(cb != nullptr);
   if (t < now_) {
     t = now_;
   }
   const EventId id = next_id_++;
-  heap_.push(Event{t, id, std::move(cb)});
+  heap_.push(Event{t, id, std::move(cb), parked});
   return id;
 }
 
 EventId Engine::ScheduleAfter(Duration d, Callback cb) {
+  return ScheduleAfter(d, std::move(cb), {});
+}
+
+EventId Engine::ScheduleAfter(Duration d, Callback cb, std::coroutine_handle<> parked) {
   if (d < 0) {
     d = 0;
   }
-  return ScheduleAt(now_ + d, std::move(cb));
+  return ScheduleAt(now_ + d, std::move(cb), parked);
 }
 
 void Engine::Cancel(EventId id) {

@@ -9,6 +9,7 @@
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -33,6 +34,11 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  // Reclaims coroutine frames parked on still-pending wakeup events (see
+  // ScheduleResumeAt) so that tearing a simulation down mid-flight leaks
+  // nothing. Runs after every other simulation object's destructor in the
+  // standard rig layouts (the engine is declared first / owned by Kernel).
+  ~Engine();
 
   // Current virtual time.
   Time Now() const { return now_; }
@@ -42,6 +48,22 @@ class Engine {
 
   // Schedules `cb` to run `d` from now. d < 0 is clamped to 0.
   EventId ScheduleAfter(Duration d, Callback cb);
+
+  // As ScheduleAt/ScheduleAfter, but additionally records that `parked` is a
+  // coroutine suspended solely waiting for this event (which `cb` will
+  // resume). If the engine is destroyed while the event is still pending and
+  // uncancelled, the frame — and every frame awaiting it — is destroyed
+  // instead of leaked. All coroutine wakeups should flow through these.
+  EventId ScheduleAt(Time t, Callback cb, std::coroutine_handle<> parked);
+  EventId ScheduleAfter(Duration d, Callback cb, std::coroutine_handle<> parked);
+
+  // The common pure-wakeup form: the event just resumes `h`.
+  EventId ScheduleResumeAt(Time t, std::coroutine_handle<> h) {
+    return ScheduleAt(t, [h] { h.resume(); }, h);
+  }
+  EventId ScheduleResumeAfter(Duration d, std::coroutine_handle<> h) {
+    return ScheduleAfter(d, [h] { h.resume(); }, h);
+  }
 
   // Cancels a pending event. Cancelling an already-fired or unknown id is a
   // no-op (events self-expire), which keeps "cancel my timeout" call sites
@@ -71,6 +93,7 @@ class Engine {
     Time time;
     EventId id;
     Callback cb;
+    std::coroutine_handle<> parked{};  // frame waiting on this event, if any
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {

@@ -15,6 +15,7 @@
 
 #include "src/base/logging.h"
 #include "src/sim/engine.h"
+#include "src/sim/task.h"
 
 namespace crsim {
 
@@ -25,6 +26,16 @@ class Port {
   Port(const Port&) = delete;
   Port& operator=(const Port&) = delete;
 
+  // Receivers still blocked when the port dies are torn down with it. The
+  // awaiter objects live inside the frames being destroyed, so the waiter
+  // list is detached first.
+  ~Port() {
+    std::deque<ReceiveAwaiter*> waiters = std::move(waiters_);
+    for (ReceiveAwaiter* w : waiters) {
+      DestroyParkedChain(w->handle);
+    }
+  }
+
   // Enqueues a message; if a receiver is blocked, the message is handed to
   // it directly (bypassing the queue) and the receiver is scheduled to run.
   void Send(T msg) {
@@ -32,8 +43,7 @@ class Port {
       ReceiveAwaiter* w = waiters_.front();
       waiters_.pop_front();
       w->value.emplace(std::move(msg));
-      std::coroutine_handle<> h = w->handle;
-      engine_->ScheduleAfter(0, [h] { h.resume(); });
+      engine_->ScheduleResumeAfter(0, w->handle);
       return;
     }
     queue_.push_back(std::move(msg));

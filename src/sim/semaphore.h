@@ -8,6 +8,7 @@
 
 #include "src/base/logging.h"
 #include "src/sim/engine.h"
+#include "src/sim/task.h"
 
 namespace crsim {
 
@@ -18,6 +19,13 @@ class Semaphore {
   }
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
+
+  ~Semaphore() {
+    std::deque<std::coroutine_handle<>> waiters = std::move(waiters_);
+    for (std::coroutine_handle<> h : waiters) {
+      DestroyParkedChain(h);
+    }
+  }
 
   // `co_await sem.Acquire();`
   auto Acquire() { return AcquireAwaiter{this}; }
@@ -36,7 +44,7 @@ class Semaphore {
       // Hand the unit directly to the longest waiter (FIFO fairness).
       std::coroutine_handle<> h = waiters_.front();
       waiters_.pop_front();
-      engine_->ScheduleAfter(0, [h] { h.resume(); });
+      engine_->ScheduleResumeAfter(0, h);
       return;
     }
     ++count_;

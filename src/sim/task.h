@@ -21,6 +21,7 @@
 #include <coroutine>
 #include <cstdlib>
 #include <utility>
+#include <vector>
 
 #include "src/base/logging.h"
 
@@ -113,6 +114,66 @@ class [[nodiscard]] Task {
   }
 
   Handle handle_{};
+};
+
+// Reclaims a coroutine frame left suspended at a blocking point (a port
+// receive, a sleep event, a CPU queue slot, ...) when the simulation is torn
+// down mid-flight, together with every frame transitively `co_await`ing it.
+//
+// Every coroutine in the simulator is a crsim::Task, so a parked frame's
+// `promise().continuation` chain walks outward to the spawned thread's root
+// frame. Frames are destroyed outermost-first: destroying an outer frame
+// runs ~Task on its frame-local handle to the next-inner frame (marking it
+// detached, not freeing it), so the inner frame is still valid when its turn
+// comes.
+//
+// Precondition: the root frame's owning Task — if any — has already been
+// destroyed or detached. Simulation objects satisfy this by declaring thread
+// Task members after the blocking structures those threads park on, so the
+// Tasks die first in reverse member order.
+inline void DestroyParkedChain(std::coroutine_handle<> parked) {
+  std::vector<std::coroutine_handle<>> chain;
+  for (std::coroutine_handle<> h = parked; h;) {
+    chain.push_back(h);
+    h = Task::Handle::from_address(h.address()).promise().continuation;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    it->destroy();
+  }
+}
+
+// Owning wrapper for a parked frame carried inside a queued message (a
+// server-port request, a control message). If the message is dropped —
+// still queued at teardown, or held as a local in a server frame that is
+// itself reclaimed — the destructor destroys the parked chain. The resume
+// path must call release() before (or instead of) resuming the handle.
+class ParkedHandle {
+ public:
+  ParkedHandle() = default;
+  explicit ParkedHandle(std::coroutine_handle<> h) : handle_(h) {}
+  ParkedHandle(ParkedHandle&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  ParkedHandle& operator=(ParkedHandle&& other) noexcept {
+    if (this != &other) {
+      if (handle_) {
+        DestroyParkedChain(handle_);
+      }
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ParkedHandle(const ParkedHandle&) = delete;
+  ParkedHandle& operator=(const ParkedHandle&) = delete;
+  ~ParkedHandle() {
+    if (handle_) {
+      DestroyParkedChain(handle_);
+    }
+  }
+
+  std::coroutine_handle<> release() { return std::exchange(handle_, {}); }
+  explicit operator bool() const { return static_cast<bool>(handle_); }
+
+ private:
+  std::coroutine_handle<> handle_{};
 };
 
 }  // namespace crsim

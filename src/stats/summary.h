@@ -38,6 +38,44 @@ class Summary {
   double m2_ = 0;
 };
 
+// Fixed-bin histogram: bucket b counts samples x with x <= upper_bounds[b]
+// (and > upper_bounds[b-1]); samples past the last bound land in a final
+// overflow bucket. Bounds are fixed at construction so recording is a
+// binary search plus an increment — cheap enough for per-request paths.
+// A Summary rides along for min/max/mean/stddev of the same samples.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : upper_bounds_(std::move(upper_bounds)), counts_(upper_bounds_.size() + 1, 0) {
+    for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+      if (upper_bounds_[i - 1] >= upper_bounds_[i]) {
+        counts_.clear();  // poisoned; Add will keep only the summary
+        break;
+      }
+    }
+  }
+
+  void Add(double x) {
+    summary_.Add(x);
+    if (counts_.empty()) {
+      return;
+    }
+    const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
+    counts_[static_cast<std::size_t>(it - upper_bounds_.begin())] += 1;
+  }
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // counts()[i] pairs with upper_bounds()[i]; counts().back() is overflow.
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+  std::int64_t overflow() const { return counts_.empty() ? 0 : counts_.back(); }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::int64_t> counts_;
+  Summary summary_;
+};
+
 // Percentiles over a retained sample vector (experiments here are small
 // enough to keep everything).
 class Samples {

@@ -19,6 +19,16 @@ UnixServer::UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs,
       port_(kernel.engine()),
       cache_(options.cache_blocks) {}
 
+UnixServer::~UnixServer() {
+  // Requests still queued hold their clients' parked chains; draining them
+  // lets each Request's ParkedHandle reclaim its client. The server thread's
+  // own frame is not reachable from here — only client frames are, and their
+  // owners (test-local Tasks) die before the server.
+  Request request;
+  while (port_.TryReceive(&request)) {
+  }
+}
+
 void UnixServer::Start() {
   if (started_) {
     return;
@@ -40,7 +50,7 @@ crsim::Task UnixServer::ServerThread(crrt::ThreadContext& ctx) {
 crsim::Task UnixServer::Serve(crrt::ThreadContext& ctx, Request request) {
   ++stats_.requests;
   if (request.offset < 0 || request.length < 0) {
-    request.done(crbase::InvalidArgumentError("negative offset or length"));
+    request.Complete(crbase::InvalidArgumentError("negative offset or length"));
     co_return;
   }
   if (request.kind == Request::kWrite) {
@@ -49,12 +59,12 @@ crsim::Task UnixServer::Serve(crrt::ThreadContext& ctx, Request request) {
   }
   const Inode& inode = fs_->inode(request.inode);
   if (request.offset + request.length > inode.size_bytes) {
-    request.done(crbase::OutOfRangeError("read beyond EOF"));
+    request.Complete(crbase::OutOfRangeError("read beyond EOF"));
     co_return;
   }
   co_await ctx.Compute(options_.cpu_per_request);
   if (request.length == 0) {
-    request.done(crbase::OkStatus());
+    request.Complete(crbase::OkStatus());
     co_return;
   }
 
@@ -92,7 +102,7 @@ crsim::Task UnixServer::Serve(crrt::ThreadContext& ctx, Request request) {
       cache_.Insert(disk_block + i);
     }
   }
-  request.done(crbase::OkStatus());
+  request.Complete(crbase::OkStatus());
 }
 
 crsim::Task UnixServer::ServeWrite(crrt::ThreadContext& ctx, Request request) {
@@ -104,12 +114,12 @@ crsim::Task UnixServer::ServeWrite(crrt::ThreadContext& ctx, Request request) {
     crbase::Status grown =
         fs_->Append(request.inode, end - fs_->inode(request.inode).size_bytes);
     if (!grown.ok()) {
-      request.done(std::move(grown));
+      request.Complete(std::move(grown));
       co_return;
     }
   }
   if (request.length == 0) {
-    request.done(crbase::OkStatus());
+    request.Complete(crbase::OkStatus());
     co_return;
   }
   const Inode& inode = fs_->inode(request.inode);
@@ -141,7 +151,7 @@ crsim::Task UnixServer::ServeWrite(crrt::ThreadContext& ctx, Request request) {
     }
     fb += run - 1;
   }
-  request.done(crbase::OkStatus());
+  request.Complete(crbase::OkStatus());
 }
 
 }  // namespace crufs

@@ -61,6 +61,8 @@ class UnixServer {
   UnixServer(crrt::Kernel& kernel, crdisk::IoTarget& driver, Ufs& fs, const Options& options);
   UnixServer(const UnixServer&) = delete;
   UnixServer& operator=(const UnixServer&) = delete;
+  // Reclaims client frames whose requests were still queued unprocessed.
+  ~UnixServer();
 
   // Spawns the server thread (idempotent).
   void Start();
@@ -70,7 +72,7 @@ class UnixServer {
   // Completion means every covered block is resident in client memory.
   auto Read(InodeNumber inode, std::int64_t offset, std::int64_t length) {
     return ReadAwaiter{this,
-                       Request{Request::kRead, inode, offset, length, nullptr},
+                       Request{Request::kRead, inode, offset, length, nullptr, {}},
                        crbase::Status()};
   }
 
@@ -82,7 +84,7 @@ class UnixServer {
   // laundering policy).
   auto Write(InodeNumber inode, std::int64_t offset, std::int64_t length) {
     return ReadAwaiter{this,
-                       Request{Request::kWrite, inode, offset, length, nullptr},
+                       Request{Request::kWrite, inode, offset, length, nullptr, {}},
                        crbase::Status()};
   }
 
@@ -97,6 +99,17 @@ class UnixServer {
     std::int64_t offset;
     std::int64_t length;
     std::function<void(crbase::Status)> done;
+    // Client frame suspended until `done` fires. Owning: if the request is
+    // dropped (queued at teardown, or held in a server frame that is itself
+    // reclaimed) the client's chain is destroyed with it.
+    crsim::ParkedHandle parked;
+
+    // Resumes the client with `st`. Releases `parked` first: once resumed
+    // the client frame is live again and no longer ours to reclaim.
+    void Complete(crbase::Status st) {
+      parked.release();
+      done(std::move(st));
+    }
   };
 
   struct ReadAwaiter {
@@ -110,6 +123,7 @@ class UnixServer {
         result = std::move(st);
         h.resume();
       };
+      request.parked = crsim::ParkedHandle(h);
       server->port_.Send(std::move(request));
     }
     crbase::Status await_resume() { return std::move(result); }

@@ -1,11 +1,19 @@
 #include "src/volume/striped_volume.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/sim/task.h"
 
 namespace crvol {
+
+StripedVolume::~StripedVolume() {
+  for (const auto& [id, parked] : inflight_parked_) {
+    crsim::DestroyParkedChain(parked);
+  }
+}
 
 StripedVolume::StripedVolume(crsim::Engine& engine, const VolumeOptions& options) {
   CRAS_CHECK(options.disks >= 1) << "a volume needs at least one disk";
@@ -90,12 +98,45 @@ std::vector<StripedVolume::Segment> StripedVolume::MapRange(crdisk::Lba logical,
   return segments;
 }
 
+void StripedVolume::AttachObs(crobs::Hub* hub, const std::string& prefix) {
+  if (hub == nullptr) {
+    obs_.reset();
+    for (crdisk::DiskDriver* driver : drivers_) {
+      driver->AttachObs(nullptr, "");
+      driver->device().AttachObs(nullptr, "");
+    }
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Registry& metrics = hub->metrics();
+  obs->requests = metrics.GetCounter("volume.requests", {{"volume", prefix}});
+  obs->splits = metrics.GetCounter("volume.splits", {{"volume", prefix}});
+  for (int d = 0; d < disks(); ++d) {
+    const std::string disk_name = prefix + std::to_string(d);
+    obs->pieces.push_back(
+        metrics.GetCounter("volume.pieces", {{"volume", prefix}, {"disk", disk_name}}));
+    drivers_[static_cast<std::size_t>(d)]->AttachObs(hub, disk_name);
+    drivers_[static_cast<std::size_t>(d)]->device().AttachObs(hub, disk_name);
+  }
+  obs_ = std::move(obs);
+}
+
 std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
   const std::uint64_t id = next_id_++;
   ++stats_.requests_submitted;
   std::vector<Segment> segments = MapRange(req.lba, req.sectors);
   if (segments.size() > 1) {
     ++stats_.requests_split;
+  }
+  if (obs_ != nullptr) {
+    obs_->requests->Add();
+    if (segments.size() > 1) {
+      obs_->splits->Add();
+    }
+    for (const Segment& segment : segments) {
+      obs_->pieces[static_cast<std::size_t>(segment.disk)]->Add();
+    }
   }
 
   // Shared fan-out state: the merged completion reports the caller's
@@ -110,6 +151,11 @@ std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
   auto state = std::make_shared<FanOut>();
   state->outstanding = static_cast<int>(segments.size());
   state->on_complete = std::move(req.on_complete);
+  if (req.parked) {
+    // The awaiting frame is reclaimable through this table until the merged
+    // completion fires; the per-disk pieces deliberately carry no handle.
+    inflight_parked_.emplace(id, req.parked);
+  }
   state->merged.request_id = id;
   state->merged.kind = req.kind;
   state->merged.lba = req.lba;
@@ -122,7 +168,7 @@ std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
     piece.lba = segment.lba;
     piece.sectors = segment.sectors;
     piece.realtime = req.realtime;
-    piece.on_complete = [state](const crdisk::DiskCompletion& c) {
+    piece.on_complete = [this, state, id](const crdisk::DiskCompletion& c) {
       crdisk::DiskCompletion& merged = state->merged;
       if (state->first) {
         state->first = false;
@@ -138,8 +184,11 @@ std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
       merged.seek_time += c.seek_time;
       merged.rotation_time += c.rotation_time;
       merged.transfer_time += c.transfer_time;
-      if (--state->outstanding == 0 && state->on_complete) {
-        state->on_complete(merged);
+      if (--state->outstanding == 0) {
+        inflight_parked_.erase(id);
+        if (state->on_complete) {
+          state->on_complete(merged);
+        }
       }
     };
     drivers_[static_cast<std::size_t>(segment.disk)]->Submit(std::move(piece));

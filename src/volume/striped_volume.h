@@ -26,8 +26,10 @@
 #ifndef SRC_VOLUME_STRIPED_VOLUME_H_
 #define SRC_VOLUME_STRIPED_VOLUME_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -70,6 +72,10 @@ class StripedVolume : public crdisk::IoTarget {
   explicit StripedVolume(crdisk::DiskDriver& driver);
   StripedVolume(const StripedVolume&) = delete;
   StripedVolume& operator=(const StripedVolume&) = delete;
+  // Reclaims frames awaiting fan-out completions still in flight. The frame
+  // handle lives here (not on the per-disk pieces), so member-driver
+  // destruction afterwards cannot double-free it.
+  ~StripedVolume() override;
 
   int disks() const { return static_cast<int>(drivers_.size()); }
   std::int64_t stripe_unit_bytes() const { return unit_sectors_ * sector_size_; }
@@ -100,7 +106,29 @@ class StripedVolume : public crdisk::IoTarget {
 
   const VolumeStats& stats() const { return stats_; }
 
+  // Registers the whole array: each member device and driver under
+  // "<prefix><i>" ("disk0", "disk1", ...), plus volume-level counters —
+  // logical requests, stripe-boundary splits, and per-member-disk fan-out
+  // pieces keyed {volume, disk}.
+  void AttachObs(crobs::Hub* hub, const std::string& prefix);
+
+  // Observability hook for schedulers that fan out via MapRange() +
+  // driver().Submit() directly, bypassing Submit(): counts one issued piece
+  // against member `disk`. No-op when unattached.
+  void NotePiece(int disk) {
+    if (obs_ != nullptr) {
+      obs_->pieces[static_cast<std::size_t>(disk)]->Add();
+    }
+  }
+
  private:
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    crobs::Counter* requests = nullptr;
+    crobs::Counter* splits = nullptr;
+    std::vector<crobs::Counter*> pieces;  // one per member disk
+  };
+
   std::vector<std::unique_ptr<crdisk::DiskDevice>> owned_devices_;
   std::vector<std::unique_ptr<crdisk::DiskDriver>> owned_drivers_;
   std::vector<crdisk::DiskDriver*> drivers_;
@@ -110,6 +138,9 @@ class StripedVolume : public crdisk::IoTarget {
   std::int64_t total_sectors_ = 0;
   std::uint64_t next_id_ = 1;
   VolumeStats stats_;
+  // Frames parked in Execute() on a fan-out not yet fully completed.
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> inflight_parked_;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace crvol

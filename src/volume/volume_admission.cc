@@ -97,16 +97,41 @@ VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
 bool VolumeAdmissionModel::Admissible(const std::vector<cras::StreamDemand>& streams,
                                       std::int64_t memory_budget_bytes) const {
   const Estimate estimate = Evaluate(streams);
-  if (estimate.buffer_bytes > memory_budget_bytes) {
-    return false;
-  }
-  for (int d = 0; d < disks(); ++d) {
+  bool admit = estimate.buffer_bytes <= memory_budget_bytes;
+  for (int d = 0; admit && d < disks(); ++d) {
     if (estimate.per_disk[static_cast<std::size_t>(d)].io_time() >
         models_[static_cast<std::size_t>(d)].interval()) {
-      return false;
+      admit = false;
     }
   }
-  return true;
+  if (obs_ != nullptr) {
+    const double worst_ms = crobs::ToMillis(estimate.WorstIoTime());
+    (admit ? obs_->accepted : obs_->rejected)->Add();
+    obs_->worst_io_ms->Record(worst_ms);
+    crobs::Tracer& trace = obs_->hub->trace();
+    if (trace.enabled()) {
+      trace.Instant(obs_->track, admit ? obs_->n_accept : obs_->n_reject, worst_ms);
+    }
+  }
+  return admit;
+}
+
+void VolumeAdmissionModel::AttachObs(crobs::Hub* hub) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Tracer& trace = hub->trace();
+  obs->track = trace.InternTrack("admission");
+  obs->n_accept = trace.InternName("accept");
+  obs->n_reject = trace.InternName("reject");
+  crobs::Registry& metrics = hub->metrics();
+  obs->accepted = metrics.GetCounter("admission.decisions", {{"outcome", "accept"}});
+  obs->rejected = metrics.GetCounter("admission.decisions", {{"outcome", "reject"}});
+  obs->worst_io_ms = metrics.GetHistogram("admission.worst_io_ms", {}, crobs::LatencyBucketsMs());
+  obs_ = std::move(obs);
 }
 
 }  // namespace crvol

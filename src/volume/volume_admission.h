@@ -29,9 +29,11 @@
 #define SRC_VOLUME_VOLUME_ADMISSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/base/time_units.h"
+#include "src/obs/obs.h"
 #include "src/volume/admission.h"
 
 namespace crvol {
@@ -89,9 +91,25 @@ class VolumeAdmissionModel {
   bool Admissible(const std::vector<cras::StreamDemand>& streams,
                   std::int64_t memory_budget_bytes) const;
 
+  // Registers decision counters keyed {outcome}, a worst-case interval-I/O
+  // histogram, and accept/reject trace instants (value: worst I/O ms) on the
+  // "admission" track. Every Admissible() call then records its verdict.
+  void AttachObs(crobs::Hub* hub);
+
  private:
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;
+    std::uint32_t n_accept = 0;
+    std::uint32_t n_reject = 0;
+    crobs::Counter* accepted = nullptr;
+    crobs::Counter* rejected = nullptr;
+    crobs::Histogram* worst_io_ms = nullptr;
+  };
+
   std::vector<cras::AdmissionModel> models_;
   std::int64_t stripe_unit_bytes_;
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace crvol

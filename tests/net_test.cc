@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "src/base/bytes.h"
 #include "src/core/testbed.h"
 #include "src/media/media_file.h"
 #include "src/net/nps.h"
+#include "src/net/stats_query.h"
 
 namespace crnet {
 namespace {
@@ -205,6 +208,105 @@ TEST(Nps, FragmentsLargeChunks) {
   EXPECT_EQ(rig.sender.stats().chunks_sent, static_cast<std::int64_t>(movie->index.count()));
   EXPECT_EQ(rig.sender.stats().packets_sent, 4 * rig.sender.stats().chunks_sent);
   EXPECT_EQ(rig.receiver.stats().chunks_received, rig.sender.stats().chunks_sent);
+}
+
+// ---------------------------------------------------------------------------
+// StatsQuery: pulling the server's metrics registry across the link.
+// ---------------------------------------------------------------------------
+
+// Pulls the integer "value" of the first series of a counter family out of
+// the hub's metrics JSON. Returns -1 if the family is absent.
+std::int64_t ExtractCounter(const std::string& json, const std::string& name) {
+  std::size_t pos = json.find("\"" + name + "\"");
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  pos = json.find("\"value\": ", pos);
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(json.c_str() + pos + 9, nullptr, 10);
+}
+
+TEST(StatsQuery, SnapshotOverLinkMatchesServerStats) {
+  QtPlayRig rig;
+  StatsQueryService stats(rig.server_host.kernel, rig.server_host.hub, &rig.ethernet);
+  stats.Start();
+  auto movie = crmedia::WriteMpeg1File(rig.server_host.fs, "movie", Seconds(4));
+  ASSERT_TRUE(movie.ok());
+
+  cras::SessionId session = cras::kInvalidSession;
+  crsim::Task opener = rig.server_host.kernel.Spawn(
+      "qtserver", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        cras::OpenParams params;
+        params.inode = movie->inode;
+        params.index = movie->index;
+        auto opened = co_await rig.server_host.cras_server.Open(std::move(params));
+        CRAS_CHECK(opened.ok());
+        session = *opened;
+        (void)co_await rig.server_host.cras_server.StartStream(
+            session, rig.server_host.cras_server.SuggestedInitialDelay());
+      });
+  rig.server_host.engine().RunFor(Milliseconds(50));
+  ASSERT_NE(session, cras::kInvalidSession);
+  crsim::Task sender_task = rig.sender.Start(session, &movie->index);
+  // Let the whole stream drain so the server's counters are quiescent, then
+  // query: the snapshot must agree exactly with the server's own ledger.
+  rig.server_host.engine().RunFor(Seconds(8));
+
+  std::string json;
+  crbase::Time asked = 0;
+  crbase::Time answered = 0;
+  crsim::Task query = rig.client_host.Spawn(
+      "qtclient-stats", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        asked = ctx.Now();
+        json = co_await stats.Query();
+        answered = ctx.Now();
+      });
+  rig.server_host.engine().RunFor(Seconds(1));
+
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"sim_time_ns\""), std::string::npos);
+  const cras::ServerStats& server = rig.server_host.cras_server.stats();
+  EXPECT_EQ(ExtractCounter(json, "cras.deadline_misses"), server.deadline_misses);
+  EXPECT_EQ(ExtractCounter(json, "cras.sessions_opened"), server.sessions_opened);
+  EXPECT_EQ(ExtractCounter(json, "cras.bytes_read"), server.bytes_read);
+  EXPECT_EQ(ExtractCounter(json, "cras.sessions_opened"), 1);
+  EXPECT_GT(ExtractCounter(json, "cras.bytes_read"), 0);
+  // The reply is real traffic: at minimum it pays the propagation delay and
+  // its own wire time on the 10 Mb/s segment.
+  EXPECT_EQ(stats.stats().queries, 1);
+  EXPECT_EQ(stats.stats().reply_bytes, static_cast<std::int64_t>(json.size()));
+  const Link::Options wire;  // QtPlayRig's ethernet uses default options
+  const crbase::Duration min_latency =
+      wire.propagation_delay +
+      crbase::Time(static_cast<std::int64_t>(1e9 * static_cast<double>(json.size()) /
+                                             wire.bandwidth_bytes_per_sec));
+  EXPECT_GE(answered - asked, min_latency);
+}
+
+TEST(StatsQuery, NullLinkAnswersWithoutNetworkDelay) {
+  cras::Testbed bed;
+  bed.StartServers();
+  StatsQueryService stats(bed.kernel, bed.hub, nullptr);
+  stats.Start();
+
+  std::string json;
+  crbase::Time asked = 0;
+  crbase::Time answered = 0;
+  crsim::Task query = bed.kernel.Spawn(
+      "local-stats", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        asked = ctx.Now();
+        json = co_await stats.Query();
+        answered = ctx.Now();
+      });
+  bed.engine().RunFor(Milliseconds(100));
+
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(ExtractCounter(json, "cras.sessions_opened"), 0);
+  // Same-host path: only the snapshot-rendering CPU charge, no wire time.
+  EXPECT_GE(answered - asked, StatsQueryService::Options{}.cpu_per_query);
+  EXPECT_LT(answered - asked, Milliseconds(10));
 }
 
 }  // namespace
