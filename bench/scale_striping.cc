@@ -11,7 +11,14 @@
 //
 // Besides the table, the bench writes BENCH_scale_striping.json (current
 // directory, or the path given with --out <file>) for machine consumption.
+//
+// A second sweep covers the parity layout under failure: for each width the
+// rig is filled healthy, one member is fail-stopped mid-playback
+// (--fail-disk=<i>@<t_ms>, default 0@2000), and the degradation controller's
+// kept count is checked against the degraded admission model's capacity.
+// Results land in BENCH_degraded_striping.json.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -19,7 +26,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/fault/fault.h"
 #include "src/volume/striped_volume.h"
+#include "src/volume/volume_admission.h"
 
 namespace {
 
@@ -35,9 +44,10 @@ struct ScalePoint {
   double worst_interval_io_ms = 0.0;
 };
 
-cras::VolumeTestbedOptions RigOptions(int disks) {
+cras::VolumeTestbedOptions RigOptions(int disks, bool parity = false) {
   cras::VolumeTestbedOptions options;
   options.volume.disks = disks;
+  options.volume.parity = parity;
   // Keep the disks, not the wired-buffer budget, the binding constraint:
   // eight ST32550Ns admit over a hundred MPEG1 streams (~21 MB of double
   // buffers), past the single-disk default of 12 MiB.
@@ -57,8 +67,8 @@ std::vector<crmedia::MediaFile> MakeFiles(crufs::Ufs& fs, int count, crbase::Dur
 }
 
 // Opens streams until the admission test rejects one; returns the count.
-int CountAdmitted(int disks, int candidates) {
-  cras::VolumeTestbed bed(RigOptions(disks));
+int CountAdmitted(int disks, int candidates, bool parity = false) {
+  cras::VolumeTestbed bed(RigOptions(disks, parity));
   bed.StartServers();
   const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, candidates, crbase::Seconds(4));
   int accepted = 0;
@@ -161,6 +171,112 @@ void PrintFanOut(const crobs::RegistrySnapshot& snap, int disks, bool csv) {
   table.Print();
 }
 
+// ---------------------------------------------------------------------------
+// Degraded sweep: the parity layout losing one member mid-playback.
+
+struct DegradedPoint {
+  int disks = 0;
+  int healthy_admitted = 0;    // streams the healthy parity rig admits
+  int degraded_capacity = 0;   // the degraded model's maximum
+  int kept = 0;                // streams still playing after the failure
+  int shed = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t frames_missed_kept = 0;  // among kept streams only
+  std::int64_t reconstruction_pieces = 0;
+};
+
+// The degraded admission model's stream capacity for this rig, mirroring
+// the demand CrasServer derives at crs_open.
+int DegradedCapacity(int disks, const cras::VolumeTestbedOptions& options,
+                     const crvol::Volume& volume, const crmedia::MediaFile& file,
+                     int failed_disk) {
+  crvol::VolumeAdmissionModel model(options.cras.disk_params, disks, options.cras.interval,
+                                    options.cras.max_read_bytes, volume.stripe_unit_bytes());
+  model.set_parity(true);
+  model.SetMemberFailed(failed_disk, true);
+  cras::StreamDemand demand;
+  demand.rate_bytes_per_sec = file.index.WorstRate(options.cras.interval);
+  demand.chunk_bytes = file.index.max_chunk_bytes();
+  int n = 0;
+  while (model.Admissible(
+      std::vector<cras::StreamDemand>(static_cast<std::size_t>(n + 1), demand),
+      options.cras.memory_budget_bytes)) {
+    ++n;
+  }
+  return n;
+}
+
+// Fills a parity rig of `disks` members with its healthy admitted load,
+// fail-stops one member per `fail`, and measures what survives.
+void MeasureDegraded(int disks, const crfault::FaultEvent& fail, DegradedPoint* point) {
+  const cras::VolumeTestbedOptions rig_options = RigOptions(disks, /*parity=*/true);
+  cras::VolumeTestbed bed(rig_options);
+  bed.StartServers();
+  const int streams = point->healthy_admitted;
+  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
+  point->degraded_capacity =
+      DegradedCapacity(disks, rig_options, bed.volume, files.front(), fail.disk);
+
+  const crbase::Duration play_length = crbase::Seconds(6);
+  std::vector<std::unique_ptr<cras::PlayerStats>> stats;
+  std::vector<crsim::Task> players;
+  cras::PlayerOptions options;
+  options.play_length = play_length;
+  for (int i = 0; i < streams; ++i) {
+    options.start_delay = crbase::Milliseconds(500) * i / streams;
+    stats.push_back(std::make_unique<cras::PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)], options,
+                                            stats.back().get()));
+  }
+  crfault::FaultPlan plan;
+  plan.Add(fail);
+  crfault::FaultInjector injector(bed.engine(), bed.volume, plan);
+  injector.Arm();
+  bed.engine().RunFor(play_length + crbase::Seconds(6));
+
+  for (const auto& s : stats) {
+    CRAS_CHECK(!s->open_rejected) << "the healthy fill must fit its own rig";
+    if (s->shed) {
+      ++point->shed;
+    } else {
+      ++point->kept;
+      point->frames_missed_kept += s->frames_missed;
+    }
+  }
+  point->deadline_misses = bed.cras_server.stats().deadline_misses;
+  point->reconstruction_pieces = bed.volume.stats().reconstruction_pieces;
+  // The controller's verdict must be the model's: the kept set is the
+  // degraded capacity (or the whole load, when it already fit).
+  CRAS_CHECK(point->kept == std::min(streams, point->degraded_capacity))
+      << "kept " << point->kept << " of " << streams << ", model says "
+      << point->degraded_capacity;
+}
+
+void WriteDegradedJson(const std::string& path, const std::string& fail_spec,
+                       const std::vector<DegradedPoint>& points) {
+  std::ofstream out(path);
+  CRAS_CHECK(out.good()) << "cannot write " << path;
+  out << "{\n"
+      << "  \"bench\": \"degraded_striping\",\n"
+      << "  \"stream\": \"MPEG1 1.5 Mb/s\",\n"
+      << "  \"layout\": \"rotating parity\",\n"
+      << "  \"fail_disk\": \"" << fail_spec << "\",\n"
+      << "  \"interval_ms\": 500,\n"
+      << "  \"memory_budget_bytes\": " << 64 * crbase::kMiB << ",\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DegradedPoint& p = points[i];
+    out << "    {\"disks\": " << p.disks << ", \"healthy_admitted\": " << p.healthy_admitted
+        << ", \"degraded_capacity\": " << p.degraded_capacity << ", \"kept\": " << p.kept
+        << ", \"shed\": " << p.shed << ", \"deadline_misses\": " << p.deadline_misses
+        << ", \"frames_missed_kept\": " << p.frames_missed_kept
+        << ", \"reconstruction_pieces\": " << p.reconstruction_pieces << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 void WriteJson(const std::string& path, const std::vector<ScalePoint>& points) {
   std::ofstream out(path);
   CRAS_CHECK(out.good()) << "cannot write " << path;
@@ -191,11 +307,18 @@ void WriteJson(const std::string& path, const std::vector<ScalePoint>& points) {
 int main(int argc, char** argv) {
   const bool csv = crbench::BenchInit(argc, argv);
   std::string json_path = "BENCH_scale_striping.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--out") {
+  std::string fail_spec = "0@2000";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--out" && i + 1 < argc) {
       json_path = argv[i + 1];
+    } else if (arg.rfind("--fail-disk=", 0) == 0) {
+      fail_spec = arg.substr(std::string("--fail-disk=").size());
     }
   }
+  const auto fail_event = crfault::FaultPlan::ParseFailStopSpec(fail_spec);
+  CRAS_CHECK(fail_event.ok()) << "--fail-disk wants <disk>@<t_ms>: "
+                              << fail_event.status().ToString();
 
   crstats::PrintBanner("Striping scale-out: admitted MPEG1 streams vs member disks");
   std::printf("T = 0.5 s, 256 KiB stripe unit, per-disk admission, 64 MiB buffer budget\n");
@@ -242,5 +365,37 @@ int main(int argc, char** argv) {
               "scaling is near-linear rather than linear); zero deadline misses at every\n"
               "admitted load.\n",
               json_path.c_str());
+
+  crstats::PrintBanner("Degraded parity: fail-stop " + fail_spec + " mid-playback");
+  crstats::Table degraded_table({"disks", "healthy_admitted", "degraded_capacity", "kept",
+                                 "shed", "deadline_misses", "frames_missed_kept",
+                                 "reconstruction_pieces"});
+  degraded_table.SetCsv(csv);
+  std::vector<DegradedPoint> degraded_points;
+  for (const int disks : {2, 4, 8}) {
+    CRAS_CHECK(fail_event->disk < disks)
+        << "--fail-disk member " << fail_event->disk << " outside the " << disks
+        << "-disk rig";
+    DegradedPoint point;
+    point.disks = disks;
+    point.healthy_admitted = CountAdmitted(disks, 32 * disks, /*parity=*/true);
+    MeasureDegraded(disks, *fail_event, &point);
+    degraded_table.Cell(static_cast<std::int64_t>(disks))
+        .Cell(static_cast<std::int64_t>(point.healthy_admitted))
+        .Cell(static_cast<std::int64_t>(point.degraded_capacity))
+        .Cell(static_cast<std::int64_t>(point.kept))
+        .Cell(static_cast<std::int64_t>(point.shed))
+        .Cell(point.deadline_misses)
+        .Cell(point.frames_missed_kept)
+        .Cell(point.reconstruction_pieces);
+    degraded_table.EndRow();
+    degraded_points.push_back(point);
+  }
+  degraded_table.Print();
+  WriteDegradedJson("BENCH_degraded_striping.json", fail_spec, degraded_points);
+  std::printf("\nWrote BENCH_degraded_striping.json. Expected: kept == min(admitted,\n"
+              "degraded capacity) at every width — the controller sheds exactly the\n"
+              "model's overload — with zero deadline misses and zero missed frames\n"
+              "among the kept streams.\n");
   return 0;
 }

@@ -32,17 +32,22 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::
       control_port_(kernel.engine()),
       io_done_port_(kernel.engine()),
       deadline_port_(kernel.engine()),
-      signal_port_(kernel.engine()) {
+      signal_port_(kernel.engine()),
+      fault_port_(kernel.engine()) {
   // The server wires its code and static state (~250 KB in the paper);
   // buffers are wired as sessions open.
   kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+  volume_admission_.set_parity(volume_->parity());
+  volume_->SetMemberStateListener([this](int disk, crvol::MemberState state) {
+    fault_port_.Send(MemberChange{disk, state});
+  });
   AttachObs(options_.obs);
 }
 
-CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs)
+CrasServer::CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& fs)
     : CrasServer(kernel, volume, fs, Options{}) {}
 
-CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs,
+CrasServer::CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& fs,
                        const Options& options)
     : kernel_(&kernel),
       volume_(&volume),
@@ -54,8 +59,13 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs
       control_port_(kernel.engine()),
       io_done_port_(kernel.engine()),
       deadline_port_(kernel.engine()),
-      signal_port_(kernel.engine()) {
+      signal_port_(kernel.engine()),
+      fault_port_(kernel.engine()) {
   kernel_->WireMemory("cras-server", 250 * crbase::kKiB);
+  volume_admission_.set_parity(volume_->parity());
+  volume_->SetMemberStateListener([this](int disk, crvol::MemberState state) {
+    fault_port_.Send(MemberChange{disk, state});
+  });
   AttachObs(options_.obs);
 }
 
@@ -77,6 +87,8 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   obs->n_prefetch = trace.InternName("prefetch");
   obs->n_slack = trace.InternName("deadline_slack_ms");
   obs->n_miss = trace.InternName("deadline_miss");
+  obs->n_member = trace.InternName("member_change");
+  obs->n_shed = trace.InternName("stream_shed");
   crobs::Registry& metrics = hub->metrics();
   obs->sessions_opened = metrics.GetCounter("cras.sessions_opened");
   obs->sessions_rejected = metrics.GetCounter("cras.sessions_rejected");
@@ -85,12 +97,18 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   obs->bytes_written = metrics.GetCounter("cras.bytes_written");
   obs->read_requests = metrics.GetCounter("cras.read_requests");
   obs->write_requests = metrics.GetCounter("cras.write_requests");
+  obs->streams_shed = metrics.GetCounter("cras.streams_shed");
+  obs->streams_kept = metrics.GetGauge("cras.streams_kept");
   obs->deadline_slack_ms =
       metrics.GetHistogram("cras.deadline_slack_ms", {}, crobs::LatencyBucketsMs());
+  obs->degraded_slack_ms =
+      metrics.GetHistogram("cras.degraded_slack_ms", {}, crobs::LatencyBucketsMs());
   obs_ = std::move(obs);
 }
 
 CrasServer::~CrasServer() {
+  // The volume may outlive this server; its listener must not.
+  volume_->SetMemberStateListener(nullptr);
   // Control messages still queued hold their senders' parked chains;
   // draining them lets each message's ParkedHandle reclaim its client. The
   // thread Tasks (declared after the ports) have already been destroyed.
@@ -123,6 +141,12 @@ void CrasServer::Start() {
   threads_.push_back(kernel_->Spawn("cras-signal-handler", options_.priority + 1,
                                     [this](crrt::ThreadContext& ctx) {
                                       return SignalHandlerThread(ctx);
+                                    }));
+  // Above every sibling: when a member dies, re-admission must beat the
+  // scheduler to the next interval boundary so no infeasible I/O is issued.
+  threads_.push_back(kernel_->Spawn("cras-degradation-controller", options_.priority + 5,
+                                    [this](crrt::ThreadContext& ctx) {
+                                      return DegradationControllerThread(ctx);
                                     }));
 }
 
@@ -250,6 +274,9 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
         // = this batch is about to signal a deadline miss.
         const double slack_ms = crobs::ToMillis(batch.deadline - kernel_->Now());
         obs_->deadline_slack_ms->Record(slack_ms);
+        if (volume_->degraded()) {
+          obs_->degraded_slack_ms->Record(slack_ms);
+        }
         crobs::Tracer& trace = obs_->hub->trace();
         if (trace.enabled()) {
           trace.AsyncEnd(obs_->track, obs_->cat_batch, obs_->n_prefetch, batch.id);
@@ -297,6 +324,18 @@ crsim::Task CrasServer::SignalHandlerThread(crrt::ThreadContext&) {
                                 nullptr, {}});
   io_done_port_.Send(IoDoneMsg{0, {}});
   deadline_port_.Send(crrt::DeadlineMiss{-1, 0, 0});
+  fault_port_.Send(MemberChange{-1, crvol::MemberState::kHealthy});
+}
+
+crsim::Task CrasServer::DegradationControllerThread(crrt::ThreadContext& ctx) {
+  for (;;) {
+    MemberChange change = co_await fault_port_.Receive();
+    if (change.disk < 0) {
+      break;  // shutdown sentinel
+    }
+    co_await ctx.Compute(options_.cpu_per_control_op);
+    ApplyMemberChange(change);
+  }
 }
 
 void CrasServer::SignalShutdown() { signal_port_.Send(1); }
@@ -480,6 +519,86 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
 }
 
 // ---------------------------------------------------------------------------
+// Degradation controller
+// ---------------------------------------------------------------------------
+
+void CrasServer::ApplyMemberChange(const MemberChange& change) {
+  ++stats_.member_changes;
+  CRAS_LOG(kWarning) << "CRAS member disk " << change.disk << " is now "
+                     << crvol::MemberStateName(change.state);
+  switch (change.state) {
+    case crvol::MemberState::kFailed:
+      volume_admission_.SetMemberFailed(change.disk, true);
+      break;
+    case crvol::MemberState::kSlow: {
+      // Re-derive the member's worst-case parameters from its actual
+      // derating; only the media rate degrades, the mechanics don't.
+      DiskParams derated = options_.disk_params;
+      derated.transfer_rate /= volume_->device(change.disk).throughput_derating();
+      volume_admission_.SetMemberParams(change.disk, derated);
+      break;
+    }
+    case crvol::MemberState::kHealthy:
+      volume_admission_.SetMemberFailed(change.disk, false);
+      volume_admission_.SetMemberParams(change.disk, options_.disk_params);
+      break;
+  }
+  if (obs_ != nullptr) {
+    obs_->hub->trace().Instant(obs_->track, obs_->n_member,
+                               static_cast<double>(change.disk));
+  }
+  ShedUntilAdmissible();
+}
+
+void CrasServer::ShedUntilAdmissible() {
+  // Candidate shedding order: highest-rate session first, so the degraded
+  // array loses the fewest streams (ties broken toward younger sessions —
+  // the longest-served viewers are the last to go).
+  std::vector<Session*> by_rate;
+  by_rate.reserve(sessions_.size());
+  for (auto& [id, session] : sessions_) {
+    by_rate.push_back(&session);
+  }
+  std::sort(by_rate.begin(), by_rate.end(), [](const Session* a, const Session* b) {
+    if (a->demand.rate_bytes_per_sec != b->demand.rate_bytes_per_sec) {
+      return a->demand.rate_bytes_per_sec > b->demand.rate_bytes_per_sec;
+    }
+    return a->id > b->id;
+  });
+
+  std::vector<SessionId> shed;
+  std::size_t next_victim = 0;
+  std::vector<StreamDemand> demands;
+  demands.reserve(by_rate.size());
+  for (const Session* s : by_rate) {
+    demands.push_back(s->demand);
+  }
+  // Dropping the front (highest-rate) element each round keeps `demands`
+  // equal to the kept set's demand vector.
+  while (!demands.empty() &&
+         !volume_admission_.Admissible(
+             std::vector<StreamDemand>(demands.begin() + static_cast<std::int64_t>(next_victim),
+                                       demands.end()),
+             options_.memory_budget_bytes)) {
+    shed.push_back(by_rate[next_victim]->id);
+    ++next_victim;
+  }
+  for (SessionId id : shed) {
+    shed_ids_.insert(id);
+    ++stats_.streams_shed;
+    CRAS_LOG(kWarning) << "CRAS shedding session " << id << " (degraded array)";
+    if (obs_ != nullptr) {
+      obs_->streams_shed->Add();
+      obs_->hub->trace().Instant(obs_->track, obs_->n_shed, static_cast<double>(id));
+    }
+    CRAS_CHECK(HandleClose(id).ok());
+  }
+  if (obs_ != nullptr) {
+    obs_->streams_kept->Set(static_cast<double>(sessions_.size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler phases
 // ---------------------------------------------------------------------------
 
@@ -529,7 +648,7 @@ std::int64_t CrasServer::PublishCompletedBatches() {
 std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time deadline) {
   struct Planned {
     std::uint64_t batch_id;
-    int disk;
+    crvol::Volume::Segment segment;
     crdisk::DiskRequest request;
     std::int64_t cylinder;
   };
@@ -555,15 +674,19 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     batch.kind = kind;
     batch.interval_slot = interval_slot;
     batch.deadline = deadline;
+    const crdisk::IoKind io_kind =
+        kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
     for (const crufs::Extent& extent : *extents) {
       batch.bytes += extent.bytes();
       // Fan the logical extent out to the member disks owning its stripe
-      // units (a one-disk volume maps it to a single identical request).
-      for (const crvol::StripedVolume::Segment& segment :
-           volume_->MapRange(extent.lba, extent.sectors)) {
+      // units (a one-disk volume maps it to a single identical request). A
+      // degraded parity volume substitutes reconstruction reads on the
+      // survivors for the failed member's pieces; a write adds the row's
+      // parity-update pieces.
+      for (const crvol::Volume::Segment& segment :
+           volume_->MapRange(extent.lba, extent.sectors, io_kind)) {
         crdisk::DiskRequest request;
-        request.kind =
-            kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
+        request.kind = io_kind;
         request.lba = segment.lba;
         request.sectors = segment.sectors;
         request.realtime = true;
@@ -573,7 +696,7 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
         };
         ++batch.outstanding;
         planned.push_back(
-            Planned{batch.id, segment.disk, std::move(request),
+            Planned{batch.id, segment, std::move(request),
                     volume_->device(segment.disk).geometry().CylinderOf(segment.lba)});
       }
     }
@@ -642,7 +765,8 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
   // queue sweeps its own surface independently.
   if (options_.sort_requests_by_cylinder) {
     std::sort(planned.begin(), planned.end(), [](const Planned& a, const Planned& b) {
-      return a.disk != b.disk ? a.disk < b.disk : a.cylinder < b.cylinder;
+      return a.segment.disk != b.segment.disk ? a.segment.disk < b.segment.disk
+                                              : a.cylinder < b.cylinder;
     });
   }
   for (Planned& p : planned) {
@@ -657,8 +781,8 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
         obs_->write_requests->Add();
       }
     }
-    volume_->NotePiece(p.disk);
-    volume_->driver(p.disk).Submit(std::move(p.request));
+    volume_->NotePiece(p.segment);
+    volume_->driver(p.segment.disk).Submit(std::move(p.request));
   }
   const std::int64_t issued = static_cast<std::int64_t>(planned.size());
   interval_records_[interval_slot].requests += issued;

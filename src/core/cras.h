@@ -28,12 +28,22 @@
 // contiguously preallocated files, staged through the same interval
 // scheduler and admission formulas.
 //
-// Extension (beyond the paper): the server retrieves from a striped
-// multi-disk volume (crvol::StripedVolume). Admission runs the paper's
-// formulas per member disk (crvol::VolumeAdmissionModel), so an N-disk
-// volume admits ~N times the Fig. 6 stream count. The single-driver
+// Extension (beyond the paper): the server retrieves from a multi-disk
+// volume (crvol::Volume — striped or rotating-parity). Admission runs the
+// paper's formulas per member disk (crvol::VolumeAdmissionModel), so an
+// N-disk volume admits ~N times the Fig. 6 stream count. The single-driver
 // constructors wrap the driver in a degenerate one-disk volume and behave
 // exactly as before.
+//
+// Extension (fault tolerance): a sixth thread, the *degradation
+// controller*, listens for member-disk state changes (fail-stop, slow,
+// recovered — see crfault). On a change it updates the admission model to
+// the degraded array (a parity volume's survivors are charged the
+// reconstruction reads; a slow member gets derated worst-case parameters)
+// and re-runs the admission test over the open sessions. If the degraded
+// array can no longer carry them all, it sheds the fewest streams —
+// highest-rate sessions go first, so the low-rate majority keeps playing —
+// and every surviving stream retains the full constant-rate guarantee.
 
 #ifndef SRC_CORE_CRAS_H_
 #define SRC_CORE_CRAS_H_
@@ -45,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +72,7 @@
 #include "src/sim/task.h"
 #include "src/ufs/ufs.h"
 #include "src/volume/striped_volume.h"
+#include "src/volume/volume.h"
 #include "src/volume/volume_admission.h"
 
 namespace cras {
@@ -116,6 +128,11 @@ struct ServerStats {
   std::int64_t bytes_written = 0;
   std::int64_t read_requests = 0;
   std::int64_t write_requests = 0;
+  // Sessions closed by the degradation controller because the degraded
+  // array could no longer carry them.
+  std::int64_t streams_shed = 0;
+  // Member state changes the degradation controller processed.
+  std::int64_t member_changes = 0;
 };
 
 class CrasServer {
@@ -150,11 +167,13 @@ class CrasServer {
   CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs);
   CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::Ufs& fs,
              const Options& options);
-  // Striped-volume constructors: `fs` must span the volume's logical space
-  // (see crufs::Ufs::Options::total_sectors). Options::disk_params describes
-  // one member disk; admission runs per disk.
-  CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs);
-  CrasServer(crrt::Kernel& kernel, crvol::StripedVolume& volume, crufs::Ufs& fs,
+  // Multi-disk volume constructors (striped or parity): `fs` must span the
+  // volume's logical space (see crufs::Ufs::Options::total_sectors).
+  // Options::disk_params describes one member disk; admission runs per
+  // disk. The server installs itself as the volume's member-state listener
+  // (degradation controller).
+  CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& fs);
+  CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& fs,
              const Options& options);
   CrasServer(const CrasServer&) = delete;
   CrasServer& operator=(const CrasServer&) = delete;
@@ -162,7 +181,7 @@ class CrasServer {
   // unprocessed (the ports themselves reclaim blocked receivers).
   ~CrasServer();
 
-  // Spawns the five server threads (idempotent).
+  // Spawns the six server threads (idempotent).
   void Start();
 
   // Initial playback latency a client should allow: data scheduled in the
@@ -222,8 +241,13 @@ class CrasServer {
   // this model on a one-disk volume.
   const AdmissionModel& admission() const { return admission_; }
   const crvol::VolumeAdmissionModel& volume_admission() const { return volume_admission_; }
-  crvol::StripedVolume& volume() { return *volume_; }
+  crvol::Volume& volume() { return *volume_; }
   const ServerStats& stats() const { return stats_; }
+  // Whether the degradation controller shed session `id` (closed it to keep
+  // the degraded array's guarantees for the remaining streams). Remembered
+  // past the close, so a client polling a vanished session can tell "shed"
+  // from "never existed".
+  bool WasShed(SessionId id) const { return shed_ids_.count(id) != 0; }
   const std::vector<IntervalRecord>& interval_records() const { return interval_records_; }
   std::int64_t buffer_bytes_reserved() const { return buffer_bytes_reserved_; }
   std::size_t open_sessions() const { return sessions_.size(); }
@@ -312,12 +336,20 @@ class CrasServer {
     crdisk::DiskCompletion completion;
   };
 
+  // A member-disk state transition, forwarded from the volume's listener to
+  // the degradation-controller thread. disk < 0 is the shutdown sentinel.
+  struct MemberChange {
+    int disk = -1;
+    crvol::MemberState state = crvol::MemberState::kHealthy;
+  };
+
   // Thread bodies.
   crsim::Task RequestManagerThread(crrt::ThreadContext& ctx);
   crsim::Task RequestSchedulerThread(crrt::ThreadContext& ctx);
   crsim::Task IoDoneManagerThread(crrt::ThreadContext& ctx);
   crsim::Task DeadlineManagerThread(crrt::ThreadContext& ctx);
   crsim::Task SignalHandlerThread(crrt::ThreadContext& ctx);
+  crsim::Task DegradationControllerThread(crrt::ThreadContext& ctx);
 
   // Request-manager operations.
   crbase::Result<SessionId> HandleOpen(OpenParams params);
@@ -338,6 +370,14 @@ class CrasServer {
   const Session* FindSession(SessionId id) const;
   std::vector<StreamDemand> CurrentDemands() const;
 
+  // Degradation-controller operations.
+  // Applies a member state change to the admission model (failed flag,
+  // derated parameters) and re-runs admission over the open sessions.
+  void ApplyMemberChange(const MemberChange& change);
+  // Sheds sessions until the remaining set passes the (degraded) admission
+  // test — highest-rate first, so the fewest streams are lost.
+  void ShedUntilAdmissible();
+
   struct ObsState {
     crobs::Hub* hub = nullptr;
     std::uint32_t track = 0;          // "cras" — the scheduler's track
@@ -346,6 +386,8 @@ class CrasServer {
     std::uint32_t n_prefetch = 0;     // async span, issue -> last completion
     std::uint32_t n_slack = 0;        // counter samples of deadline slack
     std::uint32_t n_miss = 0;         // instant per deadline miss
+    std::uint32_t n_member = 0;       // instant per member state change
+    std::uint32_t n_shed = 0;         // instant per shed stream
     crobs::Counter* sessions_opened = nullptr;
     crobs::Counter* sessions_rejected = nullptr;
     crobs::Counter* deadline_misses = nullptr;
@@ -353,14 +395,19 @@ class CrasServer {
     crobs::Counter* bytes_written = nullptr;
     crobs::Counter* read_requests = nullptr;
     crobs::Counter* write_requests = nullptr;
+    crobs::Counter* streams_shed = nullptr;
+    crobs::Gauge* streams_kept = nullptr;
     crobs::Histogram* deadline_slack_ms = nullptr;
+    // Slack recorded only while the volume is degraded: how much margin the
+    // reconstruction-loaded array keeps to the interval boundary.
+    crobs::Histogram* degraded_slack_ms = nullptr;
   };
   void AttachObs(crobs::Hub* hub);
 
   crrt::Kernel* kernel_;
   // Set only by the single-driver constructors (the wrapping volume).
-  std::unique_ptr<crvol::StripedVolume> owned_volume_;
-  crvol::StripedVolume* volume_;
+  std::unique_ptr<crvol::Volume> owned_volume_;
+  crvol::Volume* volume_;
   crufs::Ufs* fs_;
   Options options_;
   AdmissionModel admission_;
@@ -370,10 +417,12 @@ class CrasServer {
   crsim::Port<IoDoneMsg> io_done_port_;
   crsim::Port<crrt::DeadlineMiss> deadline_port_;
   crsim::Port<int> signal_port_;
+  crsim::Port<MemberChange> fault_port_;
 
   std::map<SessionId, Session> sessions_;
   SessionId next_session_id_ = 1;
   std::int64_t buffer_bytes_reserved_ = 0;
+  std::set<SessionId> shed_ids_;
 
   std::map<std::uint64_t, Batch> inflight_;
   std::deque<std::uint64_t> completed_batches_;

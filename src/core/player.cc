@@ -78,6 +78,12 @@ crsim::Task SpawnCrasPlayer(crrt::Kernel& kernel, CrasServer& server,
           // lands or the give-up horizon passes.
           bool got = false;
           while (ctx.Now() - due_at < options.give_up) {
+            if (server.WasShed(id)) {
+              // The degradation controller closed the session; the stream is
+              // over, not late.
+              stats->shed = true;
+              co_return;
+            }
             std::optional<BufferedChunk> buffered = server.Get(id, chunk.timestamp);
             if (buffered.has_value()) {
               FrameRecord record;
@@ -94,6 +100,10 @@ crsim::Task SpawnCrasPlayer(crrt::Kernel& kernel, CrasServer& server,
             co_await ctx.Sleep(options.poll);
           }
           if (!got) {
+            if (server.WasShed(id)) {
+              stats->shed = true;
+              co_return;
+            }
             ++stats->frames_missed;
             continue;
           }

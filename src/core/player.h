@@ -40,6 +40,10 @@ struct PlayerStats {
   std::int64_t frames_missed = 0;  // data never arrived within the give-up window
   std::int64_t bytes_consumed = 0;
   bool open_rejected = false;      // CRAS admission refused the stream
+  // The degradation controller closed this session mid-playback (degraded
+  // array could no longer carry it). Frames rendered before the shed still
+  // count in `frames`; frames after it count nowhere.
+  bool shed = false;
 
   crbase::Duration max_delay() const;
   crbase::Duration mean_delay() const;

@@ -17,7 +17,7 @@
 #include "src/disk/driver.h"
 #include "src/rtmach/kernel.h"
 #include "src/ufs/unix_server.h"
-#include "src/volume/striped_volume.h"
+#include "src/volume/volume.h"
 
 namespace cras {
 
@@ -81,8 +81,9 @@ struct VolumeTestbedOptions {
   crobs::Hub::Options obs;
 };
 
-// The multi-disk rig: N identical member disks behind a StripedVolume, with
-// the file system laid out over the volume's logical block space.
+// The multi-disk rig: N identical member disks behind a striped or parity
+// volume (options.volume.parity selects the layout), with the file system
+// laid out over the volume's logical block space.
 class VolumeTestbed {
  public:
   VolumeTestbed() : VolumeTestbed(VolumeTestbedOptions{}) {}
@@ -90,7 +91,8 @@ class VolumeTestbed {
   explicit VolumeTestbed(const VolumeTestbedOptions& options)
       : kernel(options.kernel),
         hub(kernel.engine(), options.obs),
-        volume(kernel.engine(), options.volume),
+        volume_owner(crvol::MakeVolume(kernel.engine(), options.volume)),
+        volume(*volume_owner),
         fs(UfsOptionsFor(volume, options.ufs)),
         unix_server(kernel, volume, fs, options.unix_server),
         cras_server(kernel, volume, fs, WithObs(options.cras, &hub)) {}
@@ -106,7 +108,8 @@ class VolumeTestbed {
 
   crrt::Kernel kernel;
   crobs::Hub hub;
-  crvol::StripedVolume volume;
+  std::unique_ptr<crvol::Volume> volume_owner;
+  crvol::Volume& volume;
   crufs::Ufs fs;
   crufs::UnixServer unix_server;
   CrasServer cras_server;
@@ -117,13 +120,16 @@ class VolumeTestbed {
     return cras;
   }
 
-  static crufs::Ufs::Options UfsOptionsFor(const crvol::StripedVolume& volume,
+  static crufs::Ufs::Options UfsOptionsFor(const crvol::Volume& volume,
                                            crufs::Ufs::Options ufs) {
     ufs.geometry = volume.geometry();
     ufs.total_sectors = volume.total_sectors();
-    if (volume.disks() > 1) {
+    if (volume.data_disks() > 1) {
+      // A file "stripe" covers one full row of *data* units, so consecutive
+      // rate-matched allocations rotate across the members that actually
+      // hold data.
       ufs.stripe_unit_sectors = volume.stripe_unit_sectors();
-      ufs.stripe_width_sectors = volume.stripe_unit_sectors() * volume.disks();
+      ufs.stripe_width_sectors = volume.stripe_unit_sectors() * volume.data_disks();
     }
     return ufs;
   }

@@ -53,6 +53,11 @@ void DiskDevice::InjectTransientFault(Duration extra_latency, int request_count)
   fault_requests_remaining_ = request_count;
 }
 
+void DiskDevice::SetThroughputDerating(double factor) {
+  CRAS_CHECK(factor >= 1.0) << "derating only slows a disk down: " << factor;
+  throughput_derating_ = factor;
+}
+
 void DiskDevice::StartIo(const DiskRequest& req, std::uint64_t request_id,
                          crbase::Time enqueued_at) {
   CRAS_CHECK(!busy_) << "device services one request at a time";
@@ -87,7 +92,8 @@ void DiskDevice::StartIo(const DiskRequest& req, std::uint64_t request_id,
   // time). On a zoned disk the rate is the starting track's zone rate —
   // transfers rarely span zones (zones are hundreds of cylinders wide).
   const Duration per_sector = geo.rotation_time() / geo.SectorsPerTrackAt(target_cylinder);
-  const Duration transfer = per_sector * req.sectors;
+  const Duration transfer = static_cast<Duration>(
+      static_cast<double>(per_sector * req.sectors) * throughput_derating_);
 
   crbase::Time finish = head_settled + rotation + transfer;
   if (fault_requests_remaining_ > 0) {

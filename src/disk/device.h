@@ -65,6 +65,12 @@ class DiskDevice {
   void InjectTransientFault(Duration extra_latency, int request_count);
   std::int64_t faults_applied() const { return faults_applied_; }
 
+  // Failure injection: scales every transfer from now on by `factor` >= 1
+  // (a drive limping along at reduced media rate — firmware in permanent
+  // retry, a dying head). 1.0 restores nominal throughput.
+  void SetThroughputDerating(double factor);
+  double throughput_derating() const { return throughput_derating_; }
+
   // Invoked for every completion, after the request's own callback. The
   // driver installs itself here.
   void set_on_idle(std::function<void()> fn) { on_idle_ = std::move(fn); }
@@ -103,6 +109,7 @@ class DiskDevice {
   Duration fault_extra_latency_ = 0;
   int fault_requests_remaining_ = 0;
   std::int64_t faults_applied_ = 0;
+  double throughput_derating_ = 1.0;
   std::unique_ptr<ObsState> obs_;
 };
 

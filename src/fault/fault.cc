@@ -1,0 +1,142 @@
+#include "src/fault/fault.h"
+
+#include <charconv>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace crfault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailStop:
+      return "fail_stop";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kSlowDisk:
+      return "slow_disk";
+    case FaultKind::kRecover:
+      return "recover";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::FailStop(Time at, int disk) {
+  return Add(FaultEvent{at, disk, FaultKind::kFailStop});
+}
+
+FaultPlan& FaultPlan::Transient(Time at, int disk, Duration extra_latency, int request_count) {
+  FaultEvent event{at, disk, FaultKind::kTransient};
+  event.extra_latency = extra_latency;
+  event.request_count = request_count;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::SlowDisk(Time at, int disk, double throughput_derating) {
+  FaultEvent event{at, disk, FaultKind::kSlowDisk};
+  event.throughput_derating = throughput_derating;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::Recover(Time at, int disk) {
+  return Add(FaultEvent{at, disk, FaultKind::kRecover});
+}
+
+FaultPlan& FaultPlan::Add(const FaultEvent& event) {
+  CRAS_CHECK(event.at >= 0) << "fault scheduled before the simulation epoch";
+  CRAS_CHECK(event.disk >= 0) << "no such disk: " << event.disk;
+  events_.push_back(event);
+  return *this;
+}
+
+crbase::Result<FaultEvent> FaultPlan::ParseFailStopSpec(const std::string& spec) {
+  const auto fail = [&spec] {
+    return crbase::InvalidArgumentError("expected <disk>@<t_ms>, got \"" + spec + "\"");
+  };
+  const char* begin = spec.data();
+  const char* end = begin + spec.size();
+  int disk = 0;
+  auto [after_disk, disk_err] = std::from_chars(begin, end, disk);
+  if (disk_err != std::errc() || after_disk == end || *after_disk != '@' || disk < 0) {
+    return fail();
+  }
+  std::int64_t ms = 0;
+  auto [after_ms, ms_err] = std::from_chars(after_disk + 1, end, ms);
+  if (ms_err != std::errc() || after_ms != end || ms < 0) {
+    return fail();
+  }
+  FaultEvent event;
+  event.at = crbase::Milliseconds(ms);
+  event.disk = disk;
+  event.kind = FaultKind::kFailStop;
+  return event;
+}
+
+FaultInjector::FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan)
+    : engine_(&engine), volume_(&volume), plan_(std::move(plan)) {
+  for (const FaultEvent& event : plan_.events()) {
+    CRAS_CHECK(event.disk < volume_->disks())
+        << "fault targets disk " << event.disk << " of a " << volume_->disks() << "-disk volume";
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  for (crsim::EventId id : pending_) {
+    engine_->Cancel(id);
+  }
+}
+
+void FaultInjector::Arm() {
+  CRAS_CHECK(!armed_) << "a FaultInjector arms its plan once";
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events()) {
+    pending_.push_back(engine_->ScheduleAt(event.at, [this, event] { Apply(event); }));
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  ++fired_;
+  crdisk::DiskDevice& device = volume_->device(event.disk);
+  switch (event.kind) {
+    case FaultKind::kFailStop:
+      volume_->SetMemberState(event.disk, crvol::MemberState::kFailed);
+      break;
+    case FaultKind::kTransient:
+      device.InjectTransientFault(event.extra_latency, event.request_count);
+      break;
+    case FaultKind::kSlowDisk:
+      device.SetThroughputDerating(event.throughput_derating);
+      volume_->SetMemberState(event.disk, crvol::MemberState::kSlow);
+      break;
+    case FaultKind::kRecover:
+      device.SetThroughputDerating(1.0);
+      volume_->SetMemberState(event.disk, crvol::MemberState::kHealthy);
+      break;
+  }
+  CRAS_LOG(kInfo) << "fault: " << FaultKindName(event.kind) << " disk " << event.disk << " at "
+                 << crbase::FormatDuration(event.at);
+  if (obs_ != nullptr) {
+    obs_->hub->metrics()
+        .GetCounter("fault.injected", {{"kind", FaultKindName(event.kind)},
+                                       {"disk", std::to_string(event.disk)}})
+        ->Add();
+    crobs::Tracer& trace = obs_->hub->trace();
+    if (trace.enabled()) {
+      trace.Instant(obs_->track, trace.InternName(FaultKindName(event.kind)),
+                    static_cast<double>(event.disk));
+    }
+  }
+}
+
+void FaultInjector::AttachObs(crobs::Hub* hub) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  obs->track = hub->trace().InternTrack("fault");
+  obs_ = std::move(obs);
+}
+
+}  // namespace crfault

@@ -1,0 +1,126 @@
+// Fault injection for the storage array.
+//
+// A FaultPlan is a script of member-disk misbehaviours at absolute
+// simulation timestamps; a FaultInjector arms the plan against a
+// crvol::Volume, turning each event into the matching low-level action when
+// its time arrives:
+//
+//   fail-stop   — Volume::SetMemberState(kFailed): the member serves its
+//                 already-queued requests but is never routed to again (a
+//                 parity volume reconstructs its reads; the CRAS
+//                 degradation controller re-runs admission).
+//   transient   — DiskDevice::InjectTransientFault: the next `count`
+//                 requests each take `extra` longer (recalibration stall,
+//                 retried read). No routing change.
+//   slow-disk   — DiskDevice::SetThroughputDerating(factor) plus
+//                 SetMemberState(kSlow): the member keeps serving at a
+//                 derated media rate, and admission is re-run against the
+//                 heterogeneous per-member model.
+//   recover     — derating back to 1.0, state back to kHealthy.
+//
+// The injector carries no thread of its own — events ride the simulation
+// engine's queue — and is safe to destroy before or after they fire
+// (pending events are cancelled on destruction).
+
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time_units.h"
+#include "src/obs/obs.h"
+#include "src/sim/engine.h"
+#include "src/volume/volume.h"
+
+namespace crfault {
+
+using crbase::Duration;
+using crbase::Time;
+
+enum class FaultKind {
+  kFailStop,
+  kTransient,
+  kSlowDisk,
+  kRecover,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  Time at = 0;  // absolute simulation time
+  int disk = 0;
+  FaultKind kind = FaultKind::kFailStop;
+  // kTransient:
+  Duration extra_latency = 0;
+  int request_count = 0;
+  // kSlowDisk:
+  double throughput_derating = 1.0;
+};
+
+// An ordered script of fault events. Build with the fluent helpers:
+//
+//   crfault::FaultPlan plan;
+//   plan.FailStop(crbase::Seconds(2), /*disk=*/1)
+//       .SlowDisk(crbase::Seconds(5), /*disk=*/2, /*derating=*/2.0)
+//       .Recover(crbase::Seconds(8), /*disk=*/2);
+class FaultPlan {
+ public:
+  FaultPlan& FailStop(Time at, int disk);
+  FaultPlan& Transient(Time at, int disk, Duration extra_latency, int request_count);
+  FaultPlan& SlowDisk(Time at, int disk, double throughput_derating);
+  FaultPlan& Recover(Time at, int disk);
+  FaultPlan& Add(const FaultEvent& event);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Parses the bench-flag spec "<disk>@<t_ms>" (e.g. "1@2000": fail-stop
+  // member 1 at t = 2 s) into a kFailStop event.
+  static crbase::Result<FaultEvent> ParseFailStopSpec(const std::string& spec);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Schedules a plan's events against one volume. Arm() may be called once;
+// the injector must outlive the armed events or be destroyed to cancel
+// the ones still pending (the volume must outlive the injector).
+class FaultInjector {
+ public:
+  FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  void Arm();
+  bool armed() const { return armed_; }
+  std::int64_t events_fired() const { return fired_; }
+
+  // Registers a counter of injected events keyed {kind, disk} and an
+  // instant per event on the "fault" trace track.
+  void AttachObs(crobs::Hub* hub);
+
+ private:
+  struct ObsState {
+    crobs::Hub* hub = nullptr;
+    std::uint32_t track = 0;
+  };
+
+  void Apply(const FaultEvent& event);
+
+  crsim::Engine* engine_;
+  crvol::Volume* volume_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::int64_t fired_ = 0;
+  std::vector<crsim::EventId> pending_;
+  std::unique_ptr<ObsState> obs_;
+};
+
+}  // namespace crfault
+
+#endif  // SRC_FAULT_FAULT_H_

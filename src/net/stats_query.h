@@ -62,12 +62,21 @@ class StatsQueryService {
 
   // Client-side blocking query:
   // `std::string json = co_await service.Query();`
-  auto Query() { return QueryAwaiter{this, {}, {}}; }
+  // A non-empty `prefix` restricts the snapshot to metric families whose
+  // name starts with it (see crobs::Hub::MetricsJson) — an operator
+  // watching a degraded array polls just "cras." or "fault." instead of
+  // shipping the whole registry across the link every time.
+  auto Query(std::string prefix = {}) {
+    QueryMsg msg;
+    msg.prefix = std::move(prefix);
+    return QueryAwaiter{this, std::move(msg), {}};
+  }
 
   const StatsQueryStats& stats() const { return stats_; }
 
  private:
   struct QueryMsg {
+    std::string prefix;  // metric-family name filter; empty = everything
     std::function<void(std::string)> done;
     // Client frame suspended until `done` fires. Owning: dropping the
     // message destroys the client's chain with it.

@@ -7,15 +7,21 @@
 
 namespace crobs {
 
-void Hub::WriteMetricsJson(std::ostream& out) const {
+void Hub::WriteMetricsJson(std::ostream& out, std::string_view prefix) const {
+  RegistrySnapshot snapshot = metrics_.Snapshot();
+  if (!prefix.empty()) {
+    std::erase_if(snapshot.families, [prefix](const FamilySnapshot& family) {
+      return std::string_view(family.name).substr(0, prefix.size()) != prefix;
+    });
+  }
   out << "{\"sim_time_ns\": " << engine_->Now() << ", \"metrics\": ";
-  metrics_.Snapshot().WriteJson(out);
+  snapshot.WriteJson(out);
   out << "}\n";
 }
 
-std::string Hub::MetricsJson() const {
+std::string Hub::MetricsJson(std::string_view prefix) const {
   std::ostringstream out;
-  WriteMetricsJson(out);
+  WriteMetricsJson(out, prefix);
   return out.str();
 }
 

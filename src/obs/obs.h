@@ -10,6 +10,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/time_units.h"
@@ -46,8 +47,11 @@ class Hub {
   crbase::Time Now() const { return engine_->Now(); }
 
   // {"sim_time_ns": ..., "metrics": {<registry snapshot>}}
-  void WriteMetricsJson(std::ostream& out) const;
-  std::string MetricsJson() const;
+  // A non-empty `prefix` restricts the snapshot to metric families whose
+  // name starts with it ("cras." — just the server, "volume." — just the
+  // array), which keeps remote stat dumps small on a slow link.
+  void WriteMetricsJson(std::ostream& out, std::string_view prefix = {}) const;
+  std::string MetricsJson(std::string_view prefix = {}) const;
 
   // Writes the trace ring as Chrome trace_event JSON. Returns false (and
   // logs) if the file cannot be opened.

@@ -1,0 +1,107 @@
+#include "src/volume/parity_volume.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/base/logging.h"
+#include "src/volume/striped_volume.h"
+
+namespace crvol {
+
+ParityVolume::ParityVolume(crsim::Engine& engine, const VolumeOptions& options)
+    : Volume(engine, options) {
+  CRAS_CHECK(options.disks >= 2) << "parity needs at least two members";
+  set_total_sectors(units_per_disk() * static_cast<std::int64_t>(data_disks()) *
+                    unit_sectors());
+}
+
+ParityVolume::Segment ParityVolume::Map(crdisk::Lba logical) const {
+  CRAS_CHECK(logical >= 0 && logical < total_sectors())
+      << "logical LBA out of range: " << logical;
+  const std::int64_t unit = logical / unit_sectors();
+  const std::int64_t offset = logical % unit_sectors();
+  const std::int64_t row = unit / data_disks();
+  const int slot = static_cast<int>(unit % data_disks());
+  const int parity_disk = ParityDiskOf(row);
+  const int disk = slot < parity_disk ? slot : slot + 1;
+  return Segment{disk, row * unit_sectors() + offset, 1};
+}
+
+crdisk::Lba ParityVolume::ToLogical(int disk, crdisk::Lba physical) const {
+  CRAS_CHECK(disk >= 0 && disk < disks()) << "no such disk: " << disk;
+  const std::int64_t row = physical / unit_sectors();
+  const std::int64_t offset = physical % unit_sectors();
+  CRAS_CHECK(row < units_per_disk()) << "physical LBA beyond the parity area";
+  const int parity_disk = ParityDiskOf(row);
+  CRAS_CHECK(disk != parity_disk) << "parity unit holds no logical data: disk " << disk
+                                  << " row " << row;
+  const int slot = disk < parity_disk ? disk : disk - 1;
+  const std::int64_t unit = row * data_disks() + slot;
+  return unit * unit_sectors() + offset;
+}
+
+std::vector<ParityVolume::Segment> ParityVolume::MapRange(crdisk::Lba logical,
+                                                          std::int64_t sectors,
+                                                          crdisk::IoKind kind) const {
+  CRAS_CHECK(sectors > 0) << "empty range";
+  CRAS_CHECK(logical >= 0 && logical + sectors <= total_sectors())
+      << "range [" << logical << ", " << logical + sectors << ") beyond the volume";
+  CRAS_CHECK(failed_members() <= 1)
+      << "parity tolerates one failed member; " << failed_members() << " are down";
+  std::vector<Segment> segments;
+  const auto add = [&segments](Segment piece) {
+    if (!segments.empty() && segments.back().disk == piece.disk &&
+        segments.back().reconstruction == piece.reconstruction &&
+        segments.back().lba + segments.back().sectors == piece.lba) {
+      segments.back().sectors += piece.sectors;
+    } else {
+      segments.push_back(piece);
+    }
+  };
+  crdisk::Lba pos = logical;
+  const crdisk::Lba end = logical + sectors;
+  while (pos < end) {
+    // The piece of the current stripe unit covered by the range.
+    const crdisk::Lba unit_end = (pos / unit_sectors() + 1) * unit_sectors();
+    const std::int64_t piece = std::min(end, unit_end) - pos;
+    Segment data = Map(pos);
+    data.sectors = piece;
+    const std::int64_t row = data.lba / unit_sectors();
+    if (kind == crdisk::IoKind::kRead) {
+      if (member_state(data.disk) != MemberState::kFailed) {
+        add(data);
+      } else {
+        // Degraded read: rebuild from the same physical range on every
+        // surviving member — the row's other data units plus its parity.
+        for (int d = 0; d < disks(); ++d) {
+          if (d == data.disk) {
+            continue;
+          }
+          add(Segment{d, data.lba, data.sectors, /*reconstruction=*/true});
+        }
+      }
+    } else {
+      // Write: the data unit plus the row's parity unit. A write whose data
+      // (or parity) member is failed updates only the surviving half; the
+      // redundancy equation still determines the lost content.
+      if (member_state(data.disk) != MemberState::kFailed) {
+        add(data);
+      }
+      const int parity_disk = ParityDiskOf(row);
+      if (member_state(parity_disk) != MemberState::kFailed) {
+        add(Segment{parity_disk, data.lba, data.sectors, /*reconstruction=*/true});
+      }
+    }
+    pos += piece;
+  }
+  return segments;
+}
+
+std::unique_ptr<Volume> MakeVolume(crsim::Engine& engine, const VolumeOptions& options) {
+  if (options.parity) {
+    return std::make_unique<ParityVolume>(engine, options);
+  }
+  return std::make_unique<StripedVolume>(engine, options);
+}
+
+}  // namespace crvol

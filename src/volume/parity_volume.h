@@ -1,0 +1,72 @@
+// A rotating-parity multi-disk volume (RAID-5-style): N member disks, each
+// stripe *row* holds N-1 data units plus one parity unit that is the XOR of
+// the row's data, with the parity unit's member rotating across rows so
+// parity-update writes spread over the whole array instead of hammering one
+// spindle (the classic RAID-4 bottleneck).
+//
+// Layout. Row r occupies physical stripe unit r on every member; its parity
+// lives on disk p(r) = r % N and the row's N-1 data units fill the other
+// members in ascending disk order. Logical data unit u therefore maps to
+//
+//   row  r = u / (N-1),   slot  j = u % (N-1),
+//   disk d = j < p(r) ? j : j+1,   physical unit = r.
+//
+// Logical capacity is (N-1)/N of the raw array; like StripedVolume,
+// consecutive rows of one member are physically contiguous, so per-disk
+// reads stay coalescible and cylinder-sortable.
+//
+// Healthy-array reads map exactly like a data-only stripe over N-1-of-N
+// members. Degraded reads — any piece whose data unit lives on a failed
+// member — are *reconstructed*: the same physical range is read from every
+// surviving member (the row's other data units plus its parity) and XORed,
+// so one logical read becomes N-1 physical reads, all flagged
+// Segment::reconstruction for admission and observability. Writes update
+// the data unit and its row's parity unit (the read-modify-write reads of a
+// partial-row update are elided — the simulation carries no payload bytes,
+// and CRAS interval I/O is read-dominated).
+//
+// At most one failed member is serviceable; MapRange CHECK-fails beyond
+// that (data is genuinely lost).
+
+#ifndef SRC_VOLUME_PARITY_VOLUME_H_
+#define SRC_VOLUME_PARITY_VOLUME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/volume/volume.h"
+
+namespace crvol {
+
+class ParityVolume : public Volume {
+ public:
+  // Builds `options.disks` (>= 2) device+driver pairs.
+  ParityVolume(crsim::Engine& engine, const VolumeOptions& options);
+
+  int data_disks() const override { return disks() - 1; }
+  bool parity() const override { return true; }
+
+  // The member holding row `row`'s parity unit.
+  int ParityDiskOf(std::int64_t row) const { return static_cast<int>(row % disks()); }
+  // Whether physical unit `physical / unit_sectors` on `disk` is a parity
+  // unit (i.e. holds no logical data).
+  bool IsParityUnit(int disk, crdisk::Lba physical) const {
+    return ParityDiskOf(physical / unit_sectors()) == disk;
+  }
+
+  // Logical sector -> (disk, physical sector), the healthy-array data
+  // mapping; never lands on a parity unit.
+  Segment Map(crdisk::Lba logical) const override;
+  // Inverse of Map; CHECK-fails on a parity unit.
+  crdisk::Lba ToLogical(int disk, crdisk::Lba physical) const override;
+  // The physical pieces the array performs for `kind` I/O over the logical
+  // range, given current member states (see file comment). Adjacent
+  // same-disk contiguous pieces of the same flavour are merged.
+  std::vector<Segment> MapRange(crdisk::Lba logical, std::int64_t sectors,
+                                crdisk::IoKind kind) const override;
+  using Volume::MapRange;
+};
+
+}  // namespace crvol
+
+#endif  // SRC_VOLUME_PARITY_VOLUME_H_

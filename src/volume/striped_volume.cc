@@ -1,64 +1,38 @@
 #include "src/volume/striped_volume.h"
 
 #include <algorithm>
-#include <string>
-#include <utility>
 
 #include "src/base/logging.h"
-#include "src/sim/task.h"
 
 namespace crvol {
 
-StripedVolume::~StripedVolume() {
-  for (const auto& [id, parked] : inflight_parked_) {
-    crsim::DestroyParkedChain(parked);
-  }
-}
-
-StripedVolume::StripedVolume(crsim::Engine& engine, const VolumeOptions& options) {
-  CRAS_CHECK(options.disks >= 1) << "a volume needs at least one disk";
-  sector_size_ = options.device.geometry.sector_size;
-  CRAS_CHECK(options.stripe_unit_bytes > 0 &&
-             options.stripe_unit_bytes % sector_size_ == 0)
-      << "stripe unit must be a positive whole number of sectors";
-  unit_sectors_ = options.stripe_unit_bytes / sector_size_;
-  for (int d = 0; d < options.disks; ++d) {
-    owned_devices_.push_back(std::make_unique<crdisk::DiskDevice>(engine, options.device));
-    owned_drivers_.push_back(
-        std::make_unique<crdisk::DiskDriver>(engine, *owned_devices_.back(), options.driver));
-    drivers_.push_back(owned_drivers_.back().get());
-  }
+StripedVolume::StripedVolume(crsim::Engine& engine, const VolumeOptions& options)
+    : Volume(engine, options) {
   const std::int64_t disk_sectors = options.device.geometry.total_sectors();
   if (options.disks == 1) {
     // Degenerate volume: identity mapping, full capacity (exactly the
     // single-disk system the paper measured).
-    units_per_disk_ = 0;
-    total_sectors_ = disk_sectors;
+    set_units_per_disk(0);
+    set_total_sectors(disk_sectors);
   } else {
-    units_per_disk_ = disk_sectors / unit_sectors_;
-    CRAS_CHECK(units_per_disk_ > 0) << "stripe unit larger than a member disk";
-    total_sectors_ = static_cast<std::int64_t>(options.disks) * units_per_disk_ * unit_sectors_;
+    set_total_sectors(static_cast<std::int64_t>(options.disks) * units_per_disk() *
+                      unit_sectors());
   }
 }
 
-StripedVolume::StripedVolume(crdisk::DiskDriver& driver) {
-  drivers_.push_back(&driver);
-  sector_size_ = driver.device().geometry().sector_size;
-  unit_sectors_ = 256 * crbase::kKiB / sector_size_;
-  units_per_disk_ = 0;
-  total_sectors_ = driver.device().geometry().total_sectors();
-}
+StripedVolume::StripedVolume(crdisk::DiskDriver& driver) : Volume(driver) {}
 
 StripedVolume::Segment StripedVolume::Map(crdisk::Lba logical) const {
-  CRAS_CHECK(logical >= 0 && logical < total_sectors_) << "logical LBA out of range: " << logical;
+  CRAS_CHECK(logical >= 0 && logical < total_sectors())
+      << "logical LBA out of range: " << logical;
   if (disks() == 1) {
     return Segment{0, logical, 1};
   }
-  const std::int64_t unit = logical / unit_sectors_;
-  const std::int64_t offset = logical % unit_sectors_;
+  const std::int64_t unit = logical / unit_sectors();
+  const std::int64_t offset = logical % unit_sectors();
   const int disk = static_cast<int>(unit % disks());
   const std::int64_t physical_unit = unit / disks();
-  return Segment{disk, physical_unit * unit_sectors_ + offset, 1};
+  return Segment{disk, physical_unit * unit_sectors() + offset, 1};
 }
 
 crdisk::Lba StripedVolume::ToLogical(int disk, crdisk::Lba physical) const {
@@ -66,24 +40,25 @@ crdisk::Lba StripedVolume::ToLogical(int disk, crdisk::Lba physical) const {
   if (disks() == 1) {
     return physical;
   }
-  const std::int64_t physical_unit = physical / unit_sectors_;
-  const std::int64_t offset = physical % unit_sectors_;
-  CRAS_CHECK(physical_unit < units_per_disk_) << "physical LBA beyond the striped area";
+  const std::int64_t physical_unit = physical / unit_sectors();
+  const std::int64_t offset = physical % unit_sectors();
+  CRAS_CHECK(physical_unit < units_per_disk()) << "physical LBA beyond the striped area";
   const std::int64_t unit = physical_unit * disks() + disk;
-  return unit * unit_sectors_ + offset;
+  return unit * unit_sectors() + offset;
 }
 
 std::vector<StripedVolume::Segment> StripedVolume::MapRange(crdisk::Lba logical,
-                                                            std::int64_t sectors) const {
+                                                            std::int64_t sectors,
+                                                            crdisk::IoKind /*kind*/) const {
   CRAS_CHECK(sectors > 0) << "empty range";
-  CRAS_CHECK(logical >= 0 && logical + sectors <= total_sectors_)
+  CRAS_CHECK(logical >= 0 && logical + sectors <= total_sectors())
       << "range [" << logical << ", " << logical + sectors << ") beyond the volume";
   std::vector<Segment> segments;
   crdisk::Lba pos = logical;
   const crdisk::Lba end = logical + sectors;
   while (pos < end) {
     // The piece of the current stripe unit covered by the range.
-    const crdisk::Lba unit_end = (pos / unit_sectors_ + 1) * unit_sectors_;
+    const crdisk::Lba unit_end = (pos / unit_sectors() + 1) * unit_sectors();
     const std::int64_t piece = std::min(end, unit_end) - pos;
     Segment mapped = Map(pos);
     mapped.sectors = piece;
@@ -96,104 +71,6 @@ std::vector<StripedVolume::Segment> StripedVolume::MapRange(crdisk::Lba logical,
     pos += piece;
   }
   return segments;
-}
-
-void StripedVolume::AttachObs(crobs::Hub* hub, const std::string& prefix) {
-  if (hub == nullptr) {
-    obs_.reset();
-    for (crdisk::DiskDriver* driver : drivers_) {
-      driver->AttachObs(nullptr, "");
-      driver->device().AttachObs(nullptr, "");
-    }
-    return;
-  }
-  auto obs = std::make_unique<ObsState>();
-  obs->hub = hub;
-  crobs::Registry& metrics = hub->metrics();
-  obs->requests = metrics.GetCounter("volume.requests", {{"volume", prefix}});
-  obs->splits = metrics.GetCounter("volume.splits", {{"volume", prefix}});
-  for (int d = 0; d < disks(); ++d) {
-    const std::string disk_name = prefix + std::to_string(d);
-    obs->pieces.push_back(
-        metrics.GetCounter("volume.pieces", {{"volume", prefix}, {"disk", disk_name}}));
-    drivers_[static_cast<std::size_t>(d)]->AttachObs(hub, disk_name);
-    drivers_[static_cast<std::size_t>(d)]->device().AttachObs(hub, disk_name);
-  }
-  obs_ = std::move(obs);
-}
-
-std::uint64_t StripedVolume::Submit(crdisk::DiskRequest req) {
-  const std::uint64_t id = next_id_++;
-  ++stats_.requests_submitted;
-  std::vector<Segment> segments = MapRange(req.lba, req.sectors);
-  if (segments.size() > 1) {
-    ++stats_.requests_split;
-  }
-  if (obs_ != nullptr) {
-    obs_->requests->Add();
-    if (segments.size() > 1) {
-      obs_->splits->Add();
-    }
-    for (const Segment& segment : segments) {
-      obs_->pieces[static_cast<std::size_t>(segment.disk)]->Add();
-    }
-  }
-
-  // Shared fan-out state: the merged completion reports the caller's
-  // logical view — logical LBA, total sectors, component times summed over
-  // the pieces, queue/service span from first enqueue to last finish.
-  struct FanOut {
-    int outstanding = 0;
-    bool first = true;
-    crdisk::DiskCompletion merged;
-    std::function<void(const crdisk::DiskCompletion&)> on_complete;
-  };
-  auto state = std::make_shared<FanOut>();
-  state->outstanding = static_cast<int>(segments.size());
-  state->on_complete = std::move(req.on_complete);
-  if (req.parked) {
-    // The awaiting frame is reclaimable through this table until the merged
-    // completion fires; the per-disk pieces deliberately carry no handle.
-    inflight_parked_.emplace(id, req.parked);
-  }
-  state->merged.request_id = id;
-  state->merged.kind = req.kind;
-  state->merged.lba = req.lba;
-  state->merged.sectors = req.sectors;
-  state->merged.realtime = req.realtime;
-
-  for (const Segment& segment : segments) {
-    crdisk::DiskRequest piece;
-    piece.kind = req.kind;
-    piece.lba = segment.lba;
-    piece.sectors = segment.sectors;
-    piece.realtime = req.realtime;
-    piece.on_complete = [this, state, id](const crdisk::DiskCompletion& c) {
-      crdisk::DiskCompletion& merged = state->merged;
-      if (state->first) {
-        state->first = false;
-        merged.enqueued_at = c.enqueued_at;
-        merged.started_at = c.started_at;
-        merged.finished_at = c.finished_at;
-      } else {
-        merged.enqueued_at = std::min(merged.enqueued_at, c.enqueued_at);
-        merged.started_at = std::min(merged.started_at, c.started_at);
-        merged.finished_at = std::max(merged.finished_at, c.finished_at);
-      }
-      merged.command_time += c.command_time;
-      merged.seek_time += c.seek_time;
-      merged.rotation_time += c.rotation_time;
-      merged.transfer_time += c.transfer_time;
-      if (--state->outstanding == 0) {
-        inflight_parked_.erase(id);
-        if (state->on_complete) {
-          state->on_complete(merged);
-        }
-      }
-    };
-    drivers_[static_cast<std::size_t>(segment.disk)]->Submit(std::move(piece));
-  }
-  return id;
 }
 
 }  // namespace crvol

@@ -1,7 +1,7 @@
 // A striped multi-disk volume (the §2.6 "multiple servers" direction taken
-// to its storage conclusion): N identical disks, each with its own
-// DiskDevice and dual-queue DiskDriver, presented as one flat logical
-// sector space.
+// to its storage conclusion): data-only striping, no redundancy — a member
+// failure loses every stream whose file touches that disk (ParityVolume is
+// the layout that survives one).
 //
 // Logical space is striped round-robin in fixed *stripe units* (default
 // 256 KiB — the server's maximum coalesced read, so one admission-sized
@@ -16,131 +16,37 @@
 //   * attach  — wraps one existing DiskDriver as a degenerate single-disk
 //     volume with an identity mapping. This is how the classic single-disk
 //     CrasServer constructors keep byte-for-byte their old behaviour.
-//
-// The volume is itself an IoTarget: Submit() splits a logical request at
-// stripe boundaries, fans the pieces out to the owning disks' queues, and
-// fires the caller's completion once with a merged timing record. The CRAS
-// scheduler does NOT go through Submit(): it maps extents itself (MapRange)
-// so it can sort each disk's requests in cylinder order before submission.
 
 #ifndef SRC_VOLUME_STRIPED_VOLUME_H_
 #define SRC_VOLUME_STRIPED_VOLUME_H_
 
-#include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
-#include "src/base/bytes.h"
-#include "src/disk/device.h"
-#include "src/disk/driver.h"
-#include "src/disk/io_target.h"
-#include "src/sim/engine.h"
+#include "src/volume/volume.h"
 
 namespace crvol {
 
-struct VolumeOptions {
-  int disks = 1;
-  // Stripe unit; must be a whole number of sectors. 256 KiB matches the
-  // CRAS maximum coalesced read.
-  std::int64_t stripe_unit_bytes = 256 * crbase::kKiB;
-  // Per-disk hardware; every spindle is identical (the homogeneous-array
-  // configuration the admission model assumes).
-  crdisk::DiskDevice::Options device;
-  crdisk::DiskDriver::Options driver;
-};
-
-struct VolumeStats {
-  std::int64_t requests_submitted = 0;  // through Submit(); fan-out pieces not counted
-  std::int64_t requests_split = 0;      // requests that straddled a stripe boundary
-};
-
-class StripedVolume : public crdisk::IoTarget {
+class StripedVolume : public Volume {
  public:
-  // One physically contiguous piece of a logical range on one disk.
-  struct Segment {
-    int disk = 0;
-    crdisk::Lba lba = 0;  // physical, on that disk
-    std::int64_t sectors = 0;
-  };
-
   // Owning mode: builds `options.disks` device+driver pairs.
   StripedVolume(crsim::Engine& engine, const VolumeOptions& options);
   // Attach mode: a single-disk volume over an existing driver (not owned);
   // mapping is the identity and the full disk capacity is addressable.
   explicit StripedVolume(crdisk::DiskDriver& driver);
-  StripedVolume(const StripedVolume&) = delete;
-  StripedVolume& operator=(const StripedVolume&) = delete;
-  // Reclaims frames awaiting fan-out completions still in flight. The frame
-  // handle lives here (not on the per-disk pieces), so member-driver
-  // destruction afterwards cannot double-free it.
-  ~StripedVolume() override;
-
-  int disks() const { return static_cast<int>(drivers_.size()); }
-  std::int64_t stripe_unit_bytes() const { return unit_sectors_ * sector_size_; }
-  std::int64_t stripe_unit_sectors() const { return unit_sectors_; }
-  // Logical capacity. For N >= 2 each disk contributes only whole stripe
-  // units, so a partial tail unit per disk is unaddressed.
-  std::int64_t total_sectors() const { return total_sectors_; }
-
-  crdisk::DiskDriver& driver(int disk) { return *drivers_[static_cast<std::size_t>(disk)]; }
-  crdisk::DiskDevice& device(int disk) { return drivers_[static_cast<std::size_t>(disk)]->device(); }
-  // Per-disk geometry (identical across the array).
-  const crdisk::DiskGeometry& geometry() const { return drivers_.front()->device().geometry(); }
 
   // Logical sector -> (disk, physical sector).
-  Segment Map(crdisk::Lba logical) const;
+  Segment Map(crdisk::Lba logical) const override;
   // Inverse of Map.
-  crdisk::Lba ToLogical(int disk, crdisk::Lba physical) const;
+  crdisk::Lba ToLogical(int disk, crdisk::Lba physical) const override;
   // Splits [logical, logical+sectors) at stripe-unit boundaries into
   // per-disk physically contiguous segments, in logical order. Adjacent
   // pieces that land contiguously on the same disk are merged, so a
-  // single-disk volume always yields exactly one segment.
-  std::vector<Segment> MapRange(crdisk::Lba logical, std::int64_t sectors) const;
-
-  // IoTarget: maps, fans out, merges. The merged completion carries the
-  // *logical* LBA, the summed component times, and the wall-clock span from
-  // first start to last finish.
-  std::uint64_t Submit(crdisk::DiskRequest req) override;
-
-  const VolumeStats& stats() const { return stats_; }
-
-  // Registers the whole array: each member device and driver under
-  // "<prefix><i>" ("disk0", "disk1", ...), plus volume-level counters —
-  // logical requests, stripe-boundary splits, and per-member-disk fan-out
-  // pieces keyed {volume, disk}.
-  void AttachObs(crobs::Hub* hub, const std::string& prefix);
-
-  // Observability hook for schedulers that fan out via MapRange() +
-  // driver().Submit() directly, bypassing Submit(): counts one issued piece
-  // against member `disk`. No-op when unattached.
-  void NotePiece(int disk) {
-    if (obs_ != nullptr) {
-      obs_->pieces[static_cast<std::size_t>(disk)]->Add();
-    }
-  }
-
- private:
-  struct ObsState {
-    crobs::Hub* hub = nullptr;
-    crobs::Counter* requests = nullptr;
-    crobs::Counter* splits = nullptr;
-    std::vector<crobs::Counter*> pieces;  // one per member disk
-  };
-
-  std::vector<std::unique_ptr<crdisk::DiskDevice>> owned_devices_;
-  std::vector<std::unique_ptr<crdisk::DiskDriver>> owned_drivers_;
-  std::vector<crdisk::DiskDriver*> drivers_;
-  std::int64_t sector_size_ = 512;
-  std::int64_t unit_sectors_ = 0;
-  std::int64_t units_per_disk_ = 0;
-  std::int64_t total_sectors_ = 0;
-  std::uint64_t next_id_ = 1;
-  VolumeStats stats_;
-  // Frames parked in Execute() on a fan-out not yet fully completed.
-  std::unordered_map<std::uint64_t, std::coroutine_handle<>> inflight_parked_;
-  std::unique_ptr<ObsState> obs_;
+  // single-disk volume always yields exactly one segment. The kind is
+  // irrelevant — with no redundancy, reads and writes map identically.
+  std::vector<Segment> MapRange(crdisk::Lba logical, std::int64_t sectors,
+                                crdisk::IoKind kind) const override;
+  using Volume::MapRange;
 };
 
 }  // namespace crvol

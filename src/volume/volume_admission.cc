@@ -23,6 +23,26 @@ VolumeAdmissionModel::VolumeAdmissionModel(std::vector<cras::DiskParams> per_dis
   for (const cras::DiskParams& params : per_disk) {
     models_.emplace_back(params, interval, max_read_bytes);
   }
+  failed_.assign(per_disk.size(), 0);
+}
+
+void VolumeAdmissionModel::SetMemberFailed(int disk, bool failed) {
+  CRAS_CHECK(disk >= 0 && disk < disks()) << "no such disk: " << disk;
+  failed_[static_cast<std::size_t>(disk)] = failed ? 1 : 0;
+}
+
+int VolumeAdmissionModel::failed_members() const {
+  int count = 0;
+  for (char f : failed_) {
+    count += f;
+  }
+  return count;
+}
+
+void VolumeAdmissionModel::SetMemberParams(int disk, const cras::DiskParams& params) {
+  CRAS_CHECK(disk >= 0 && disk < disks()) << "no such disk: " << disk;
+  cras::AdmissionModel& model = models_[static_cast<std::size_t>(disk)];
+  model = cras::AdmissionModel(params, model.interval(), model.max_read_bytes());
 }
 
 Duration VolumeAdmissionModel::Estimate::WorstIoTime() const {
@@ -48,8 +68,9 @@ VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
     const std::vector<cras::StreamDemand>& streams) const {
   Estimate estimate;
   const int n = disks();
+  const int failed = failed_members();
 
-  if (n == 1) {
+  if (n == 1 && failed == 0) {
     // Exactly the paper's single-disk test.
     const cras::AdmissionEstimate single = models_.front().Evaluate(streams);
     estimate.per_disk.push_back(
@@ -78,11 +99,25 @@ VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
   // Balanced share plus skew allowance — one extra window of bytes, two
   // extra requests (a window parked on this disk plus a boundary-straddling
   // split landing here); never more than the whole demand.
-  const std::int64_t bytes_d =
+  std::int64_t bytes_d =
       std::min(total_bytes,
                (total_bytes + n - 1) / n + std::min(largest_window, stripe_unit_bytes_));
-  const std::int64_t requests_d = std::min(total_requests, (total_requests + n - 1) / n + 2);
+  std::int64_t requests_d = std::min(total_requests, (total_requests + n - 1) / n + 2);
+  if (failed > 0 && parity_) {
+    // Degraded parity array: each logical read that would have landed on the
+    // failed member (1/N of the demand) becomes one same-sized
+    // reconstruction read on every survivor, so each survivor's worst-case
+    // share doubles.
+    bytes_d *= 2;
+    requests_d *= 2;
+  }
   for (int d = 0; d < n; ++d) {
+    if (failed_[static_cast<std::size_t>(d)] != 0) {
+      // A failed member serves nothing (its share is what the survivors'
+      // doubled share absorbs).
+      estimate.per_disk.push_back(DiskEstimate{});
+      continue;
+    }
     const cras::AdmissionModel& model = models_[static_cast<std::size_t>(d)];
     DiskEstimate disk;
     disk.requests = requests_d;
@@ -98,6 +133,12 @@ bool VolumeAdmissionModel::Admissible(const std::vector<cras::StreamDemand>& str
                                       std::int64_t memory_budget_bytes) const {
   const Estimate estimate = Evaluate(streams);
   bool admit = estimate.buffer_bytes <= memory_budget_bytes;
+  // An unprotected failure (no parity) or a second failure of a parity
+  // array loses data outright: no non-empty stream set is admissible.
+  const int failed = failed_members();
+  if (!streams.empty() && failed > (parity_ ? 1 : 0)) {
+    admit = false;
+  }
   for (int d = 0; admit && d < disks(); ++d) {
     if (estimate.per_disk[static_cast<std::size_t>(d)].io_time() >
         models_[static_cast<std::size_t>(d)].interval()) {

@@ -24,6 +24,21 @@
 // A single-disk volume (N = 1) bypasses the split and reproduces
 // cras::AdmissionModel decisions and estimates exactly — the Fig. 6/8
 // regression anchor.
+//
+// Degraded mode. A parity array (set_parity) keeps serving with one member
+// failed (SetMemberFailed), but every logical read that would have landed
+// on the dead member becomes N-1 reconstruction reads, one per survivor.
+// The dead member carries 1/N of the balanced demand, so each survivor
+// picks up an extra 1/N — its worst-case share doubles:
+//
+//   A_d(degraded) = 2 * (ceil(A_total / N) + min(max_i A_i, stripe_unit))
+//   N_d(degraded) = 2 * (ceil(N_total / N) + 2)
+//
+// and the failed member is charged nothing. A failed member of a
+// non-parity array — or a second failure of a parity array — makes any
+// non-empty stream set inadmissible: the data is simply gone. Slow (but
+// serving) members are modelled heterogeneously via SetMemberParams with
+// derated worst-case figures.
 
 #ifndef SRC_VOLUME_VOLUME_ADMISSION_H_
 #define SRC_VOLUME_VOLUME_ADMISSION_H_
@@ -51,6 +66,18 @@ class VolumeAdmissionModel {
                        std::int64_t max_read_bytes, std::int64_t stripe_unit_bytes);
 
   int disks() const { return static_cast<int>(models_.size()); }
+
+  // ---- array state (degraded-mode variant of the formulas) ----
+  // Declares the array redundant: one member failure degrades, not loses.
+  void set_parity(bool parity) { parity_ = parity; }
+  bool parity() const { return parity_; }
+  // Marks member `disk` failed (true) or restored (false).
+  void SetMemberFailed(int disk, bool failed);
+  bool member_failed(int disk) const { return failed_[static_cast<std::size_t>(disk)] != 0; }
+  int failed_members() const;
+  // Replaces member `disk`'s worst-case parameters (a derated/slow member).
+  void SetMemberParams(int disk, const cras::DiskParams& params);
+
   Duration interval() const { return models_.front().interval(); }
   std::int64_t max_read_bytes() const { return models_.front().max_read_bytes(); }
   std::int64_t stripe_unit_bytes() const { return stripe_unit_bytes_; }
@@ -108,6 +135,8 @@ class VolumeAdmissionModel {
   };
 
   std::vector<cras::AdmissionModel> models_;
+  std::vector<char> failed_;  // per member; char to avoid vector<bool>
+  bool parity_ = false;
   std::int64_t stripe_unit_bytes_;
   std::unique_ptr<ObsState> obs_;
 };
