@@ -2,24 +2,45 @@
 # Tier-1 gate: configure + build + test, exactly what ROADMAP.md specifies.
 # Run from anywhere; builds into <repo>/build.
 #
-#   scripts/check.sh             plain RelWithDebInfo tree (the tier-1 gate)
-#   scripts/check.sh --sanitize  additionally build + test under ASan (+LSan)
-#                                and UBSan, in build-asan/ and build-ubsan/
+#   scripts/check.sh                  plain RelWithDebInfo tree (the tier-1 gate)
+#   scripts/check.sh --sanitize       additionally build + test under ASan (+LSan)
+#                                     and UBSan, in build-asan/ and build-ubsan/
+#   scripts/check.sh --label <regex>  restrict ctest to matching labels, e.g.
+#                                     --label 'fault|net' for the robustness slice
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+sanitize=0
+label=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize) sanitize=1 ;;
+    --label)
+      [[ $# -ge 2 ]] || { echo "--label needs a regex argument" >&2; exit 2; }
+      label="$2"
+      shift
+      ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
 
 run_tree() {
   local dir="$1"
   shift
   cmake -B "$repo/$dir" -S "$repo" "$@"
   cmake --build "$repo/$dir" -j "$(nproc)"
-  ctest --test-dir "$repo/$dir" --output-on-failure -j "$(nproc)"
+  local ctest_args=(--test-dir "$repo/$dir" --output-on-failure -j "$(nproc)")
+  if [[ -n "$label" ]]; then
+    ctest_args+=(-L "$label")
+  fi
+  ctest "${ctest_args[@]}"
 }
 
 run_tree build
 
-if [[ "${1:-}" == "--sanitize" ]]; then
+if [[ "$sanitize" == 1 ]]; then
   run_tree build-asan -DCRAS_SANITIZE=address
   run_tree build-ubsan -DCRAS_SANITIZE=undefined
 fi

@@ -89,6 +89,7 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   obs->n_miss = trace.InternName("deadline_miss");
   obs->n_member = trace.InternName("member_change");
   obs->n_shed = trace.InternName("stream_shed");
+  obs->n_reap = trace.InternName("session_reap");
   crobs::Registry& metrics = hub->metrics();
   obs->sessions_opened = metrics.GetCounter("cras.sessions_opened");
   obs->sessions_rejected = metrics.GetCounter("cras.sessions_rejected");
@@ -98,7 +99,10 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   obs->read_requests = metrics.GetCounter("cras.read_requests");
   obs->write_requests = metrics.GetCounter("cras.write_requests");
   obs->streams_shed = metrics.GetCounter("cras.streams_shed");
+  obs->sessions_reaped = metrics.GetCounter("cras.sessions_reaped");
+  obs->sessions_resumed = metrics.GetCounter("cras.sessions_resumed");
   obs->streams_kept = metrics.GetGauge("cras.streams_kept");
+  obs->lease_age_ms = metrics.GetHistogram("cras.lease_age_ms", {}, crobs::LatencyBucketsMs());
   obs->deadline_slack_ms =
       metrics.GetHistogram("cras.deadline_slack_ms", {}, crobs::LatencyBucketsMs());
   obs->degraded_slack_ms =
@@ -148,6 +152,12 @@ void CrasServer::Start() {
                                     [this](crrt::ThreadContext& ctx) {
                                       return DegradationControllerThread(ctx);
                                     }));
+  if (options_.lease_period > 0) {
+    threads_.push_back(kernel_->Spawn("cras-lease-reaper", options_.priority,
+                                      [this](crrt::ThreadContext& ctx) {
+                                        return LeaseReaperThread(ctx);
+                                      }));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +198,11 @@ crsim::Task CrasServer::RequestManagerThread(crrt::ThreadContext& ctx) {
       }
       case ControlMsg::kSetRate: {
         crbase::Status st = HandleSetRate(msg.id, msg.params.rate_factor);
+        result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        break;
+      }
+      case ControlMsg::kReconnect: {
+        crbase::Status st = HandleReconnect(msg.id);
         result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
         break;
       }
@@ -338,6 +353,21 @@ crsim::Task CrasServer::DegradationControllerThread(crrt::ThreadContext& ctx) {
   }
 }
 
+crsim::Task CrasServer::LeaseReaperThread(crrt::ThreadContext& ctx) {
+  // A quarter-period tick bounds reap latency at grace + 1/4 periods after
+  // the last renewal (1.75 periods at the default grace of 1.5) — inside
+  // the "within two lease periods" contract with room to spare.
+  const crbase::Duration tick = std::max<crbase::Duration>(options_.lease_period / 4, 1);
+  while (!shutdown_) {
+    co_await ctx.Sleep(tick);
+    if (shutdown_) {
+      break;
+    }
+    co_await ctx.Compute(options_.cpu_per_control_op);
+    ReapExpired();
+  }
+}
+
 void CrasServer::SignalShutdown() { signal_port_.Send(1); }
 
 // ---------------------------------------------------------------------------
@@ -391,6 +421,7 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   session.clock = std::make_unique<LogicalClock>(kernel_->engine());
   session.clock->SetRate(params.rate_factor);
 
+  session.lease_renewed_at = kernel_->Now();
   buffer_bytes_reserved_ += buffer_bytes;
   kernel_->WireMemory("cras-buffer", buffer_bytes);
   ++stats_.sessions_opened;
@@ -516,6 +547,122 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
   session->rate_factor = rate_factor;
   session->clock->SetRate(rate_factor);
   return crbase::OkStatus();
+}
+
+crbase::Status CrasServer::HandleReconnect(SessionId id) {
+  // Still live: the client outran the reaper — renew and carry on.
+  if (Session* session = FindSession(id); session != nullptr) {
+    session->lease_renewed_at = kernel_->Now();
+    return crbase::OkStatus();
+  }
+  auto it = reaped_.find(id);
+  if (it == reaped_.end()) {
+    return crbase::NotFoundError("no such session (never opened, or resume state evicted)");
+  }
+  ReapedSession& old = it->second;
+
+  // Re-run the admission test: the array may have degraded (or filled up)
+  // since the session was reaped, and a resumed stream gets no special
+  // claim over the ones admitted meanwhile.
+  std::vector<StreamDemand> demands = CurrentDemands();
+  demands.push_back(old.demand);
+  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
+    return crbase::ResourceExhaustedError("admission test failed on resume");
+  }
+
+  Session session;
+  session.id = id;
+  session.kind = old.kind;
+  session.inode = old.inode;
+  session.index = std::move(old.index);
+  session.demand = old.demand;
+  session.rate_factor = old.rate_factor;
+  const std::int64_t buffer_bytes = volume_admission_.BufferBytes(session.demand);
+  session.buffer = std::make_unique<TimeDrivenBuffer>(buffer_bytes, options_.jitter_allowance);
+  session.clock = std::make_unique<LogicalClock>(kernel_->engine());
+  session.clock->SetRate(session.rate_factor);
+  session.clock->SeekTo(old.logical_pos);
+  if (old.kind == SessionKind::kRead) {
+    std::int64_t chunk = session.index.FindByTime(old.logical_pos);
+    if (chunk < 0) {
+      chunk = 0;
+    }
+    session.next_chunk = chunk;
+    session.prefetch_pos = session.index.at(static_cast<std::size_t>(chunk)).timestamp;
+  }
+  if (old.started) {
+    // Resume playing from where the reaper froze it, after the same
+    // pipeline-fill latency a fresh start needs.
+    session.started = true;
+    session.clock->Start(SuggestedInitialDelay());
+  }
+  session.lease_renewed_at = kernel_->Now();
+  buffer_bytes_reserved_ += buffer_bytes;
+  kernel_->WireMemory("cras-buffer", buffer_bytes);
+  ++stats_.sessions_resumed;
+  if (obs_ != nullptr) {
+    obs_->sessions_resumed->Add();
+    session.buffer->AttachObs(obs_->hub, "s" + std::to_string(id));
+  }
+  reaped_.erase(it);
+  sessions_.emplace(id, std::move(session));
+  CRAS_LOG(kInfo) << "CRAS session " << id << " reconnected and resumed";
+  return crbase::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Lease reaper
+// ---------------------------------------------------------------------------
+
+void CrasServer::RenewLease(SessionId id) {
+  Session* session = FindSession(id);
+  if (session == nullptr) {
+    return;  // heartbeat racing the reaper (or a stale client)
+  }
+  const crbase::Time now = kernel_->Now();
+  if (obs_ != nullptr) {
+    obs_->lease_age_ms->Record(crobs::ToMillis(now - session->lease_renewed_at));
+  }
+  session->lease_renewed_at = now;
+  ++stats_.lease_renewals;
+}
+
+void CrasServer::ReapExpired() {
+  const crbase::Time now = kernel_->Now();
+  const auto deadline = static_cast<crbase::Duration>(
+      options_.lease_grace * static_cast<double>(options_.lease_period));
+  std::vector<SessionId> expired;
+  for (const auto& [id, session] : sessions_) {
+    if (now - session.lease_renewed_at > deadline) {
+      expired.push_back(id);
+    }
+  }
+  for (SessionId id : expired) {
+    Session& session = sessions_.at(id);
+    ReapedSession record;
+    record.kind = session.kind;
+    record.inode = session.inode;
+    record.index = std::move(session.index);
+    record.demand = session.demand;
+    record.rate_factor = session.rate_factor;
+    record.logical_pos = session.clock->Now();
+    record.started = session.started;
+    record.reaped_at = now;
+    CRAS_LOG(kWarning) << "CRAS reaping session " << id << " (lease lapsed "
+                       << crbase::FormatDuration(now - session.lease_renewed_at) << " ago)";
+    CRAS_CHECK(HandleClose(id).ok());
+    reaped_ids_.insert(id);
+    reaped_.emplace(id, std::move(record));
+    while (reaped_.size() > options_.reaped_history) {
+      // Evict the oldest resume state (smallest id is the oldest session).
+      reaped_.erase(reaped_.begin());
+    }
+    ++stats_.sessions_reaped;
+    if (obs_ != nullptr) {
+      obs_->sessions_reaped->Add();
+      obs_->hub->trace().Instant(obs_->track, obs_->n_reap, static_cast<double>(id));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -44,6 +44,17 @@
 // array can no longer carry them all, it sheds the fewest streams —
 // highest-rate sessions go first, so the low-rate majority keeps playing —
 // and every surviving stream retains the full constant-rate guarantee.
+//
+// Extension (session leases): with Options::lease_period set, every session
+// is covered by a lease the client renews with lightweight heartbeats
+// (RenewLease — a direct call, cheap enough to ride a network delivery
+// event; see crnet::LeaseClient). A lease-reaper thread closes sessions
+// whose lease has lapsed — buffer reclaimed, wired memory unwired,
+// admission share released — so a crashed or partitioned client can never
+// strand server resources. A reaped session's resume state (position,
+// demand, index) is remembered for a bounded history; Reconnect(id) renews
+// a live lease, or re-admits and resumes a reaped session at its last
+// logical position.
 
 #ifndef SRC_CORE_CRAS_H_
 #define SRC_CORE_CRAS_H_
@@ -133,6 +144,10 @@ struct ServerStats {
   std::int64_t streams_shed = 0;
   // Member state changes the degradation controller processed.
   std::int64_t member_changes = 0;
+  // Lease bookkeeping (all zero when leases are disabled).
+  std::int64_t lease_renewals = 0;
+  std::int64_t sessions_reaped = 0;   // lease lapsed; closed by the reaper
+  std::int64_t sessions_resumed = 0;  // reaped, then reconnected and resumed
 };
 
 class CrasServer {
@@ -152,6 +167,14 @@ class CrasServer {
     crbase::Duration cpu_per_completion = crbase::Microseconds(30);
     crbase::Duration cpu_per_publish = crbase::Microseconds(5);
     int priority = crrt::kPriorityServer;
+    // Session-lease period (0 = leases disabled, the classic trusting
+    // server). A client must renew within lease_grace periods or its
+    // session is reaped: closed, buffer reclaimed, admission released.
+    crbase::Duration lease_period = 0;
+    double lease_grace = 1.5;
+    // Reaped sessions whose resume state is kept for Reconnect(); oldest
+    // evicted beyond this bound.
+    std::size_t reaped_history = 16;
     // "Making all the read requests to disks in cylinder order to minimize
     // the seek time" (§2.2). Off only for the A2 ablation.
     bool sort_requests_by_cylinder = true;
@@ -224,6 +247,21 @@ class CrasServer {
     msg.params.rate_factor = rate_factor;
     return ControlAwaiter<crbase::Status>{this, std::move(msg)};
   }
+  // Reconnect-and-resume by session id. A live session's lease is renewed
+  // (a partition that healed before the reaper noticed). A reaped session
+  // whose resume state is still remembered is re-admitted and resumed at
+  // its last logical position (RESOURCE_EXHAUSTED if the array can no
+  // longer carry it); anything else is NOT_FOUND.
+  auto Reconnect(SessionId id) {
+    return ControlAwaiter<crbase::Status>{
+        this, ControlMsg{ControlMsg::kReconnect, id, OpenParams{}, 0, 0, nullptr, {}}};
+  }
+
+  // ---- lease interface ----
+  // Renews session `id`'s lease (no-op on an unknown id — a heartbeat
+  // racing the reaper). Direct like Get(): cheap enough to be called from a
+  // network delivery event, which is exactly what crnet::LeaseClient does.
+  void RenewLease(SessionId id);
 
   // ---- data interface (crs_get) ----
   // Direct shared-buffer access; no IPC, exactly as in the paper.
@@ -248,6 +286,11 @@ class CrasServer {
   // past the close, so a client polling a vanished session can tell "shed"
   // from "never existed".
   bool WasShed(SessionId id) const { return shed_ids_.count(id) != 0; }
+  // Whether the lease reaper ever reaped session `id` (it may have been
+  // resumed since). Lets a silent client distinguish "lease lapsed" from
+  // "never existed".
+  bool WasReaped(SessionId id) const { return reaped_ids_.count(id) != 0; }
+  std::size_t resumable_sessions() const { return reaped_.size(); }
   const std::vector<IntervalRecord>& interval_records() const { return interval_records_; }
   std::int64_t buffer_bytes_reserved() const { return buffer_bytes_reserved_; }
   std::size_t open_sessions() const { return sessions_.size(); }
@@ -260,7 +303,16 @@ class CrasServer {
 
  private:
   struct ControlMsg {
-    enum Kind { kOpen, kClose, kStart, kStop, kSeek, kSetRate, kShutdown } kind = kShutdown;
+    enum Kind {
+      kOpen,
+      kClose,
+      kStart,
+      kStop,
+      kSeek,
+      kSetRate,
+      kReconnect,
+      kShutdown
+    } kind = kShutdown;
     SessionId id = kInvalidSession;
     OpenParams params;
     crbase::Duration initial_delay = 0;
@@ -316,7 +368,20 @@ class CrasServer {
     crbase::Time prefetch_pos = 0;   // logical time of the next window
     std::int64_t next_chunk = 0;     // first chunk not yet scheduled
     std::deque<std::int64_t> write_queue;  // produced, not yet written
+    crbase::Time lease_renewed_at = 0;     // last RenewLease (or open) time
     SessionStats stats;
+  };
+
+  // Resume state of a reaped session, kept for Reconnect().
+  struct ReapedSession {
+    SessionKind kind = SessionKind::kRead;
+    crufs::InodeNumber inode = crufs::kInvalidInode;
+    crmedia::ChunkIndex index;
+    StreamDemand demand;
+    double rate_factor = 1.0;
+    crbase::Time logical_pos = 0;  // clock reading at reap time
+    bool started = false;
+    crbase::Time reaped_at = 0;
   };
 
   struct Batch {
@@ -350,6 +415,7 @@ class CrasServer {
   crsim::Task DeadlineManagerThread(crrt::ThreadContext& ctx);
   crsim::Task SignalHandlerThread(crrt::ThreadContext& ctx);
   crsim::Task DegradationControllerThread(crrt::ThreadContext& ctx);
+  crsim::Task LeaseReaperThread(crrt::ThreadContext& ctx);
 
   // Request-manager operations.
   crbase::Result<SessionId> HandleOpen(OpenParams params);
@@ -358,6 +424,11 @@ class CrasServer {
   crbase::Status HandleStop(SessionId id);
   crbase::Status HandleSeek(SessionId id, crbase::Time logical);
   crbase::Status HandleSetRate(SessionId id, double rate_factor);
+  crbase::Status HandleReconnect(SessionId id);
+
+  // Lease-reaper operations: closes every session whose lease lapsed,
+  // remembering its resume state.
+  void ReapExpired();
 
   // Scheduler phases.
   // Returns the number of chunks published.
@@ -388,6 +459,7 @@ class CrasServer {
     std::uint32_t n_miss = 0;         // instant per deadline miss
     std::uint32_t n_member = 0;       // instant per member state change
     std::uint32_t n_shed = 0;         // instant per shed stream
+    std::uint32_t n_reap = 0;         // instant per reaped session
     crobs::Counter* sessions_opened = nullptr;
     crobs::Counter* sessions_rejected = nullptr;
     crobs::Counter* deadline_misses = nullptr;
@@ -396,7 +468,11 @@ class CrasServer {
     crobs::Counter* read_requests = nullptr;
     crobs::Counter* write_requests = nullptr;
     crobs::Counter* streams_shed = nullptr;
+    crobs::Counter* sessions_reaped = nullptr;
+    crobs::Counter* sessions_resumed = nullptr;
     crobs::Gauge* streams_kept = nullptr;
+    // Age of the lease at each renewal — the observed heartbeat cadence.
+    crobs::Histogram* lease_age_ms = nullptr;
     crobs::Histogram* deadline_slack_ms = nullptr;
     // Slack recorded only while the volume is degraded: how much margin the
     // reconstruction-loaded array keeps to the interval boundary.
@@ -423,6 +499,8 @@ class CrasServer {
   SessionId next_session_id_ = 1;
   std::int64_t buffer_bytes_reserved_ = 0;
   std::set<SessionId> shed_ids_;
+  std::set<SessionId> reaped_ids_;
+  std::map<SessionId, ReapedSession> reaped_;
 
   std::map<std::uint64_t, Batch> inflight_;
   std::deque<std::uint64_t> completed_batches_;

@@ -17,8 +17,35 @@ const char* FaultKindName(FaultKind kind) {
       return "slow_disk";
     case FaultKind::kRecover:
       return "recover";
+    case FaultKind::kLinkLoss:
+      return "link_loss";
+    case FaultKind::kLinkBurstLoss:
+      return "link_burst_loss";
+    case FaultKind::kLinkJitter:
+      return "link_jitter";
+    case FaultKind::kLinkDerate:
+      return "link_derate";
+    case FaultKind::kLinkRecover:
+      return "link_recover";
   }
   return "unknown";
+}
+
+bool IsLinkFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkLoss:
+    case FaultKind::kLinkBurstLoss:
+    case FaultKind::kLinkJitter:
+    case FaultKind::kLinkDerate:
+    case FaultKind::kLinkRecover:
+      return true;
+    case FaultKind::kFailStop:
+    case FaultKind::kTransient:
+    case FaultKind::kSlowDisk:
+    case FaultKind::kRecover:
+      return false;
+  }
+  return false;
 }
 
 FaultPlan& FaultPlan::FailStop(Time at, int disk) {
@@ -40,6 +67,42 @@ FaultPlan& FaultPlan::SlowDisk(Time at, int disk, double throughput_derating) {
 
 FaultPlan& FaultPlan::Recover(Time at, int disk) {
   return Add(FaultEvent{at, disk, FaultKind::kRecover});
+}
+
+FaultPlan& FaultPlan::LinkLoss(Time at, double probability) {
+  CRAS_CHECK(probability >= 0.0 && probability <= 1.0);
+  FaultEvent event{at, 0, FaultKind::kLinkLoss};
+  event.loss_probability = probability;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::LinkBurstLoss(Time at, double p_enter_bad, double p_exit_bad,
+                                    double loss_bad) {
+  FaultEvent event{at, 0, FaultKind::kLinkBurstLoss};
+  event.ge_p_enter_bad = p_enter_bad;
+  event.ge_p_exit_bad = p_exit_bad;
+  event.ge_loss_bad = loss_bad;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::LinkJitter(Time at, Duration jitter, double reorder_probability,
+                                 Duration reorder_delay) {
+  FaultEvent event{at, 0, FaultKind::kLinkJitter};
+  event.jitter = jitter;
+  event.reorder_probability = reorder_probability;
+  event.reorder_delay = reorder_delay;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::LinkDerate(Time at, double factor) {
+  CRAS_CHECK(factor >= 1.0);
+  FaultEvent event{at, 0, FaultKind::kLinkDerate};
+  event.throughput_derating = factor;
+  return Add(event);
+}
+
+FaultPlan& FaultPlan::LinkRecover(Time at) {
+  return Add(FaultEvent{at, 0, FaultKind::kLinkRecover});
 }
 
 FaultPlan& FaultPlan::Add(const FaultEvent& event) {
@@ -73,10 +136,23 @@ crbase::Result<FaultEvent> FaultPlan::ParseFailStopSpec(const std::string& spec)
 }
 
 FaultInjector::FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan)
-    : engine_(&engine), volume_(&volume), plan_(std::move(plan)) {
+    : FaultInjector(engine, &volume, nullptr, std::move(plan)) {}
+
+FaultInjector::FaultInjector(crsim::Engine& engine, crnet::Link& link, FaultPlan plan)
+    : FaultInjector(engine, nullptr, &link, std::move(plan)) {}
+
+FaultInjector::FaultInjector(crsim::Engine& engine, crvol::Volume* volume, crnet::Link* link,
+                             FaultPlan plan)
+    : engine_(&engine), volume_(volume), link_(link), plan_(std::move(plan)) {
   for (const FaultEvent& event : plan_.events()) {
-    CRAS_CHECK(event.disk < volume_->disks())
-        << "fault targets disk " << event.disk << " of a " << volume_->disks() << "-disk volume";
+    if (IsLinkFault(event.kind)) {
+      CRAS_CHECK(link_ != nullptr) << FaultKindName(event.kind) << " event without a link";
+    } else {
+      CRAS_CHECK(volume_ != nullptr) << FaultKindName(event.kind) << " event without a volume";
+      CRAS_CHECK(event.disk < volume_->disks())
+          << "fault targets disk " << event.disk << " of a " << volume_->disks()
+          << "-disk volume";
+    }
   }
 }
 
@@ -96,29 +172,48 @@ void FaultInjector::Arm() {
 
 void FaultInjector::Apply(const FaultEvent& event) {
   ++fired_;
-  crdisk::DiskDevice& device = volume_->device(event.disk);
   switch (event.kind) {
     case FaultKind::kFailStop:
       volume_->SetMemberState(event.disk, crvol::MemberState::kFailed);
       break;
     case FaultKind::kTransient:
-      device.InjectTransientFault(event.extra_latency, event.request_count);
+      volume_->device(event.disk).InjectTransientFault(event.extra_latency,
+                                                       event.request_count);
       break;
     case FaultKind::kSlowDisk:
-      device.SetThroughputDerating(event.throughput_derating);
+      volume_->device(event.disk).SetThroughputDerating(event.throughput_derating);
       volume_->SetMemberState(event.disk, crvol::MemberState::kSlow);
       break;
     case FaultKind::kRecover:
-      device.SetThroughputDerating(1.0);
+      volume_->device(event.disk).SetThroughputDerating(1.0);
       volume_->SetMemberState(event.disk, crvol::MemberState::kHealthy);
       break;
+    case FaultKind::kLinkLoss:
+      link_->SetLoss(event.loss_probability);
+      break;
+    case FaultKind::kLinkBurstLoss:
+      link_->SetBurstLoss(event.ge_p_enter_bad, event.ge_p_exit_bad, event.ge_loss_bad);
+      break;
+    case FaultKind::kLinkJitter:
+      link_->SetJitter(event.jitter);
+      link_->SetReordering(event.reorder_probability, event.reorder_delay);
+      break;
+    case FaultKind::kLinkDerate:
+      link_->SetBandwidthDerating(event.throughput_derating);
+      break;
+    case FaultKind::kLinkRecover:
+      link_->ClearImpairments();
+      break;
   }
-  CRAS_LOG(kInfo) << "fault: " << FaultKindName(event.kind) << " disk " << event.disk << " at "
-                 << crbase::FormatDuration(event.at);
+  const bool is_link = IsLinkFault(event.kind);
+  CRAS_LOG(kInfo) << "fault: " << FaultKindName(event.kind)
+                  << (is_link ? " link" : " disk " + std::to_string(event.disk)) << " at "
+                  << crbase::FormatDuration(event.at);
   if (obs_ != nullptr) {
     obs_->hub->metrics()
-        .GetCounter("fault.injected", {{"kind", FaultKindName(event.kind)},
-                                       {"disk", std::to_string(event.disk)}})
+        .GetCounter("fault.injected",
+                    {{"kind", FaultKindName(event.kind)},
+                     {"target", is_link ? "link" : "disk" + std::to_string(event.disk)}})
         ->Add();
     crobs::Tracer& trace = obs_->hub->trace();
     if (trace.enabled()) {

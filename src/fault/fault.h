@@ -1,9 +1,11 @@
-// Fault injection for the storage array.
+// Fault injection for the storage array and the network path.
 //
-// A FaultPlan is a script of member-disk misbehaviours at absolute
-// simulation timestamps; a FaultInjector arms the plan against a
-// crvol::Volume, turning each event into the matching low-level action when
-// its time arrives:
+// A FaultPlan is a script of misbehaviours at absolute simulation
+// timestamps; a FaultInjector arms the plan against a crvol::Volume and/or
+// a crnet::Link, turning each event into the matching low-level action when
+// its time arrives.
+//
+// Disk events (target a member disk of the volume):
 //
 //   fail-stop   — Volume::SetMemberState(kFailed): the member serves its
 //                 already-queued requests but is never routed to again (a
@@ -17,6 +19,15 @@
 //                 derated media rate, and admission is re-run against the
 //                 heterogeneous per-member model.
 //   recover     — derating back to 1.0, state back to kHealthy.
+//
+// Link events (target the armed link; see crnet::LinkImpairments):
+//
+//   link-loss       — i.i.d. per-packet wire loss at the given probability;
+//   link-burst-loss — Gilbert–Elliott bursty loss (enter/exit/loss-in-bad);
+//   link-jitter     — uniform extra propagation in [0, jitter], plus
+//                     optional explicit reordering;
+//   link-derate     — serialization bandwidth divided by a factor;
+//   link-recover    — back to a perfect link.
 //
 // The injector carries no thread of its own — events ride the simulation
 // engine's queue — and is safe to destroy before or after they fire
@@ -32,6 +43,7 @@
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
+#include "src/net/link.h"
 #include "src/obs/obs.h"
 #include "src/sim/engine.h"
 #include "src/volume/volume.h"
@@ -46,33 +58,55 @@ enum class FaultKind {
   kTransient,
   kSlowDisk,
   kRecover,
+  kLinkLoss,
+  kLinkBurstLoss,
+  kLinkJitter,
+  kLinkDerate,
+  kLinkRecover,
 };
 
 const char* FaultKindName(FaultKind kind);
+// True for the kinds applied to a link rather than a member disk.
+bool IsLinkFault(FaultKind kind);
 
 struct FaultEvent {
   Time at = 0;  // absolute simulation time
-  int disk = 0;
+  int disk = 0;  // disk events only
   FaultKind kind = FaultKind::kFailStop;
   // kTransient:
   Duration extra_latency = 0;
   int request_count = 0;
-  // kSlowDisk:
+  // kSlowDisk / kLinkDerate:
   double throughput_derating = 1.0;
+  // kLinkLoss / kLinkBurstLoss:
+  double loss_probability = 0.0;
+  double ge_p_enter_bad = 0.0;
+  double ge_p_exit_bad = 0.0;
+  double ge_loss_bad = 1.0;
+  // kLinkJitter:
+  Duration jitter = 0;
+  double reorder_probability = 0.0;
+  Duration reorder_delay = 0;
 };
 
 // An ordered script of fault events. Build with the fluent helpers:
 //
 //   crfault::FaultPlan plan;
 //   plan.FailStop(crbase::Seconds(2), /*disk=*/1)
-//       .SlowDisk(crbase::Seconds(5), /*disk=*/2, /*derating=*/2.0)
-//       .Recover(crbase::Seconds(8), /*disk=*/2);
+//       .LinkLoss(crbase::Seconds(3), /*probability=*/0.01)
+//       .LinkRecover(crbase::Seconds(8));
 class FaultPlan {
  public:
   FaultPlan& FailStop(Time at, int disk);
   FaultPlan& Transient(Time at, int disk, Duration extra_latency, int request_count);
   FaultPlan& SlowDisk(Time at, int disk, double throughput_derating);
   FaultPlan& Recover(Time at, int disk);
+  FaultPlan& LinkLoss(Time at, double probability);
+  FaultPlan& LinkBurstLoss(Time at, double p_enter_bad, double p_exit_bad, double loss_bad);
+  FaultPlan& LinkJitter(Time at, Duration jitter, double reorder_probability = 0.0,
+                        Duration reorder_delay = 0);
+  FaultPlan& LinkDerate(Time at, double factor);
+  FaultPlan& LinkRecover(Time at);
   FaultPlan& Add(const FaultEvent& event);
 
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -86,12 +120,16 @@ class FaultPlan {
   std::vector<FaultEvent> events_;
 };
 
-// Schedules a plan's events against one volume. Arm() may be called once;
-// the injector must outlive the armed events or be destroyed to cancel
-// the ones still pending (the volume must outlive the injector).
+// Schedules a plan's events against one volume and/or one link. Arm() may
+// be called once; the injector must outlive the armed events or be
+// destroyed to cancel the ones still pending (the targets must outlive the
+// injector). A plan's disk events require a volume, its link events a link.
 class FaultInjector {
  public:
   FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan);
+  FaultInjector(crsim::Engine& engine, crnet::Link& link, FaultPlan plan);
+  FaultInjector(crsim::Engine& engine, crvol::Volume* volume, crnet::Link* link,
+                FaultPlan plan);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
   ~FaultInjector();
@@ -100,7 +138,7 @@ class FaultInjector {
   bool armed() const { return armed_; }
   std::int64_t events_fired() const { return fired_; }
 
-  // Registers a counter of injected events keyed {kind, disk} and an
+  // Registers a counter of injected events keyed {kind, target} and an
   // instant per event on the "fault" trace track.
   void AttachObs(crobs::Hub* hub);
 
@@ -114,6 +152,7 @@ class FaultInjector {
 
   crsim::Engine* engine_;
   crvol::Volume* volume_;
+  crnet::Link* link_;
   FaultPlan plan_;
   bool armed_ = false;
   std::int64_t fired_ = 0;

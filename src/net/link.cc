@@ -8,9 +8,14 @@
 
 namespace crnet {
 
-Link::Link(crsim::Engine& engine, const Options& options) : engine_(&engine), options_(options) {
+Link::Link(crsim::Engine& engine, const Options& options)
+    : engine_(&engine),
+      options_(options),
+      impairments_(options.impairments),
+      rng_(options.impairment_seed) {
   CRAS_CHECK(options.bandwidth_bytes_per_sec > 0);
   CRAS_CHECK(options.propagation_delay >= 0);
+  CRAS_CHECK(impairments_.bandwidth_derating >= 1.0);
 }
 
 Link::Link(crsim::Engine& engine) : Link(engine, Options{}) {}
@@ -19,15 +24,97 @@ bool Link::Send(std::int64_t bytes, std::function<void()> deliver) {
   CRAS_CHECK(bytes > 0);
   if (options_.queue_limit != 0 && queue_.size() >= options_.queue_limit) {
     ++stats_.packets_dropped;
+    ++stats_.tx_queue_drops;
+    if (obs_ != nullptr) {
+      obs_->tx_queue_drops->Add();
+    }
     return false;
   }
   ++stats_.packets_sent;
+  if (obs_ != nullptr) {
+    obs_->packets_sent->Add();
+  }
   queue_.push_back(Packet{bytes, std::move(deliver)});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
   if (!transmitting_) {
     StartTransmit();
   }
   return true;
+}
+
+void Link::SetImpairments(const LinkImpairments& impairments) {
+  CRAS_CHECK(impairments.bandwidth_derating >= 1.0);
+  impairments_ = impairments;
+}
+
+void Link::SetLoss(double probability) {
+  CRAS_CHECK(probability >= 0.0 && probability <= 1.0);
+  impairments_.loss_probability = probability;
+  impairments_.gilbert_elliott = false;
+}
+
+void Link::SetBurstLoss(double p_enter_bad, double p_exit_bad, double loss_bad) {
+  CRAS_CHECK(p_enter_bad >= 0.0 && p_enter_bad <= 1.0);
+  CRAS_CHECK(p_exit_bad > 0.0 && p_exit_bad <= 1.0);
+  CRAS_CHECK(loss_bad >= 0.0 && loss_bad <= 1.0);
+  impairments_.gilbert_elliott = true;
+  impairments_.ge_p_enter_bad = p_enter_bad;
+  impairments_.ge_p_exit_bad = p_exit_bad;
+  impairments_.ge_loss_bad = loss_bad;
+}
+
+void Link::SetJitter(Duration jitter) {
+  CRAS_CHECK(jitter >= 0);
+  impairments_.jitter = jitter;
+}
+
+void Link::SetReordering(double probability, Duration delay) {
+  CRAS_CHECK(probability >= 0.0 && probability <= 1.0);
+  CRAS_CHECK(delay >= 0);
+  impairments_.reorder_probability = probability;
+  impairments_.reorder_delay = delay;
+}
+
+void Link::SetBandwidthDerating(double factor) {
+  CRAS_CHECK(factor >= 1.0);
+  impairments_.bandwidth_derating = factor;
+}
+
+void Link::ClearImpairments() {
+  impairments_ = LinkImpairments{};
+  ge_in_bad_state_ = false;
+}
+
+bool Link::DrawWireLoss() {
+  if (impairments_.gilbert_elliott) {
+    // Step the chain, then draw against the state the packet sees.
+    if (ge_in_bad_state_) {
+      if (rng_.NextDouble() < impairments_.ge_p_exit_bad) {
+        ge_in_bad_state_ = false;
+      }
+    } else {
+      if (rng_.NextDouble() < impairments_.ge_p_enter_bad) {
+        ge_in_bad_state_ = true;
+      }
+    }
+    const double p = ge_in_bad_state_ ? impairments_.ge_loss_bad : impairments_.ge_loss_good;
+    return p > 0.0 && rng_.NextDouble() < p;
+  }
+  return impairments_.loss_probability > 0.0 &&
+         rng_.NextDouble() < impairments_.loss_probability;
+}
+
+Duration Link::DrawExtraDelay() {
+  Duration extra = 0;
+  if (impairments_.jitter > 0) {
+    extra += static_cast<Duration>(rng_.NextBelow(
+        static_cast<std::uint64_t>(impairments_.jitter) + 1));
+  }
+  if (impairments_.reorder_probability > 0.0 &&
+      rng_.NextDouble() < impairments_.reorder_probability) {
+    extra += impairments_.reorder_delay;
+  }
+  return extra;
 }
 
 void Link::StartTransmit() {
@@ -38,23 +125,55 @@ void Link::StartTransmit() {
   transmitting_ = true;
   Packet packet = std::move(queue_.front());
   queue_.pop_front();
-  const Duration wire_time = crbase::TransferTime(packet.bytes + options_.per_packet_overhead,
-                                                  options_.bandwidth_bytes_per_sec);
+  const double rate = options_.bandwidth_bytes_per_sec / impairments_.bandwidth_derating;
+  const Duration wire_time =
+      crbase::TransferTime(packet.bytes + options_.per_packet_overhead, rate);
   stats_.busy_time += wire_time;
   // Serialization completes, then the bits propagate. The next packet may
-  // begin serializing as soon as this one leaves the interface.
+  // begin serializing as soon as this one leaves the interface. Loss and
+  // jitter are drawn at serialization end, in send order, so the random
+  // sequence is independent of delivery interleaving.
   engine_->ScheduleAfter(wire_time, [this, packet = std::move(packet)]() mutable {
     transmitting_ = false;
-    engine_->ScheduleAfter(options_.propagation_delay,
-                           [this, bytes = packet.bytes, deliver = std::move(packet.deliver)] {
-                             ++stats_.packets_delivered;
-                             stats_.bytes_delivered += bytes;
-                             if (deliver) {
-                               deliver();
-                             }
-                           });
+    if (DrawWireLoss()) {
+      ++stats_.packets_dropped;
+      ++stats_.wire_drops;
+      if (obs_ != nullptr) {
+        obs_->wire_drops->Add();
+      }
+    } else {
+      engine_->ScheduleAfter(options_.propagation_delay + DrawExtraDelay(),
+                             [this, bytes = packet.bytes, deliver = std::move(packet.deliver)] {
+                               ++stats_.packets_delivered;
+                               stats_.bytes_delivered += bytes;
+                               if (obs_ != nullptr) {
+                                 obs_->packets_delivered->Add();
+                                 obs_->bytes_delivered->Add(bytes);
+                               }
+                               if (deliver) {
+                                 deliver();
+                               }
+                             });
+    }
     StartTransmit();
   });
+}
+
+void Link::AttachObs(crobs::Hub* hub, const std::string& name) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Registry& metrics = hub->metrics();
+  const crobs::Labels labels = {{"link", name}};
+  obs->packets_sent = metrics.GetCounter("link.packets_sent", labels);
+  obs->packets_delivered = metrics.GetCounter("link.packets_delivered", labels);
+  obs->bytes_delivered = metrics.GetCounter("link.bytes_delivered", labels);
+  obs->tx_queue_drops = metrics.GetCounter("link.tx_queue_drops", labels);
+  obs->wire_drops = metrics.GetCounter("link.wire_drops", labels);
+  obs_ = std::move(obs);
 }
 
 }  // namespace crnet

@@ -1,32 +1,205 @@
 #include "src/net/nps.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/logging.h"
 
 namespace crnet {
 
+// ---------------------------------------------------------------------------
+// NpsReceiver
+// ---------------------------------------------------------------------------
+
 NpsReceiver::NpsReceiver(crrt::Kernel& kernel, const Options& options)
     : kernel_(&kernel),
+      options_(options),
       buffer_(options.buffer_bytes, options.jitter_allowance),
-      clock_(kernel.engine()) {}
+      clock_(kernel.engine()) {
+  CRAS_CHECK(options_.nak_delay > 0);
+  CRAS_CHECK(options_.nak_backoff_cap >= options_.nak_delay);
+}
 
 NpsReceiver::NpsReceiver(crrt::Kernel& kernel) : NpsReceiver(kernel, Options{}) {}
 
-void NpsReceiver::Deliver(const cras::BufferedChunk& chunk, crbase::Time sent_at) {
-  cras::BufferedChunk local = chunk;
-  local.filled_at = kernel_->Now();
+NpsReceiver::~NpsReceiver() {
+  for (auto& [seq, entry] : pending_) {
+    if (entry.timer_armed) {
+      kernel_->engine().Cancel(entry.timer);
+    }
+  }
+}
+
+void NpsReceiver::ConnectReverse(Link& reverse, NpsSender& sender) {
+  reverse_ = &reverse;
+  sender_ = &sender;
+  sender.EnableRetransmit();
+}
+
+void NpsReceiver::OnFragment(const NpsFragment& fragment) {
+  ++stats_.fragments_received;
+  if (fragment.retransmit) {
+    ++stats_.retransmitted_fragments;
+  }
+  if (done_.count(fragment.seq) != 0) {
+    ++stats_.duplicate_fragments;  // late retransmit of a finished chunk
+    return;
+  }
+  // A jump past the expected next sequence number reveals wholly lost
+  // chunks: open a placeholder (metadata unknown) for each skipped one so
+  // its NAK timer starts running.
+  if (fragment.seq >= expected_next_) {
+    for (std::uint64_t seq = expected_next_; seq < fragment.seq; ++seq) {
+      EnsureEntry(seq);
+    }
+    expected_next_ = fragment.seq + 1;
+  }
+  Reassembly& entry = EnsureEntry(fragment.seq);
+  if (entry.frag_count == 0) {
+    // First fragment to arrive for this sequence number: adopt the chunk
+    // metadata every fragment carries.
+    CRAS_CHECK(fragment.frag_count > 0);
+    entry.chunk = fragment.chunk;
+    entry.frag_count = fragment.frag_count;
+    entry.have.assign(static_cast<std::size_t>(fragment.frag_count), false);
+    entry.sent_at = fragment.sent_at;
+  }
+  CRAS_CHECK(fragment.frag_index >= 0 && fragment.frag_index < entry.frag_count);
+  if (fragment.frag_index < entry.max_frag_seen) {
+    ++stats_.out_of_order_fragments;
+  }
+  entry.max_frag_seen = std::max(entry.max_frag_seen, fragment.frag_index);
+  if (entry.have[static_cast<std::size_t>(fragment.frag_index)]) {
+    ++stats_.duplicate_fragments;
+    return;
+  }
+  entry.have[static_cast<std::size_t>(fragment.frag_index)] = true;
+  ++entry.received;
+  if (entry.received == entry.frag_count) {
+    Complete(fragment.seq, entry);
+  }
+}
+
+NpsReceiver::Reassembly& NpsReceiver::EnsureEntry(std::uint64_t seq) {
+  auto [it, inserted] = pending_.try_emplace(seq);
+  Reassembly& entry = it->second;
+  if (inserted) {
+    entry.created_at = kernel_->Now();
+    entry.backoff = options_.nak_delay;
+    ArmTimer(seq, options_.nak_delay);
+  }
+  return entry;
+}
+
+void NpsReceiver::ArmTimer(std::uint64_t seq, crbase::Duration delay) {
+  Reassembly& entry = pending_.at(seq);
+  entry.timer = kernel_->engine().ScheduleAfter(delay, [this, seq] { OnTimer(seq); });
+  entry.timer_armed = true;
+}
+
+void NpsReceiver::OnTimer(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  Reassembly& entry = it->second;
+  entry.timer_armed = false;
+  const bool has_metadata = entry.frag_count > 0;
+  bool give_up = false;
+  if (reverse_ == nullptr || sender_ == nullptr) {
+    // No repair path: the reordering grace has passed, the chunk will
+    // never complete.
+    give_up = true;
+  } else if (entry.naks >= options_.max_naks) {
+    give_up = true;
+  } else if (has_metadata && clock_.Now() > entry.chunk.timestamp + entry.chunk.duration) {
+    // Playout has moved past this chunk; repaired data would be discarded
+    // on arrival.
+    give_up = true;
+  } else if (!has_metadata &&
+             kernel_->Now() - entry.created_at > options_.placeholder_ttl) {
+    give_up = true;
+  }
+  if (give_up) {
+    Abandon(seq, entry);
+    return;
+  }
+  NpsNak nak;
+  nak.seq = seq;
+  if (has_metadata) {
+    for (int i = 0; i < entry.frag_count; ++i) {
+      if (!entry.have[static_cast<std::size_t>(i)]) {
+        nak.missing.push_back(i);
+      }
+    }
+  }
+  ++entry.naks;
+  ++stats_.naks_sent;
+  if (obs_ != nullptr) {
+    obs_->naks_sent->Add();
+  }
+  NpsSender* sender = sender_;
+  reverse_->Send(options_.nak_bytes, [sender, nak] { sender->OnNak(nak); });
+  entry.backoff = std::min(entry.backoff * 2, options_.nak_backoff_cap);
+  ArmTimer(seq, entry.backoff);
+}
+
+void NpsReceiver::Complete(std::uint64_t seq, Reassembly& entry) {
+  if (entry.timer_armed) {
+    kernel_->engine().Cancel(entry.timer);
+  }
+  const crbase::Time now = kernel_->Now();
+  cras::BufferedChunk local = entry.chunk;
+  local.filled_at = now;
   buffer_.Put(local, clock_.Now());
   ++stats_.chunks_received;
-  stats_.bytes_received += chunk.size;
-  stats_.max_network_latency =
-      std::max(stats_.max_network_latency, kernel_->Now() - sent_at);
+  stats_.bytes_received += entry.chunk.size;
+  stats_.max_network_latency = std::max(stats_.max_network_latency, now - entry.sent_at);
+  if (obs_ != nullptr) {
+    obs_->chunks_received->Add();
+    obs_->reassembly_ms->Record(crobs::ToMillis(now - entry.sent_at));
+  }
+  done_.insert(seq);
+  pending_.erase(seq);
+}
+
+void NpsReceiver::Abandon(std::uint64_t seq, Reassembly& entry) {
+  if (entry.timer_armed) {
+    kernel_->engine().Cancel(entry.timer);
+  }
+  ++stats_.chunks_abandoned;
+  if (obs_ != nullptr) {
+    obs_->chunks_abandoned->Add();
+  }
+  done_.insert(seq);
+  pending_.erase(seq);
 }
 
 std::optional<cras::BufferedChunk> NpsReceiver::Get(crbase::Time t) {
   buffer_.DiscardObsolete(clock_.Now());
   return buffer_.Get(t);
 }
+
+void NpsReceiver::AttachObs(crobs::Hub* hub, const std::string& name) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Registry& metrics = hub->metrics();
+  const crobs::Labels labels = {{"stream", name}};
+  obs->chunks_received = metrics.GetCounter("nps.rx_chunks", labels);
+  obs->naks_sent = metrics.GetCounter("nps.rx_naks_sent", labels);
+  obs->chunks_abandoned = metrics.GetCounter("nps.rx_chunks_abandoned", labels);
+  obs->reassembly_ms =
+      metrics.GetHistogram("nps.reassembly_ms", labels, crobs::LatencyBucketsMs());
+  obs_ = std::move(obs);
+}
+
+// ---------------------------------------------------------------------------
+// NpsSender
+// ---------------------------------------------------------------------------
 
 NpsSender::NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
                      NpsReceiver& receiver, const Options& options)
@@ -37,10 +210,66 @@ NpsSender::NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
     : NpsSender(kernel, server, link, receiver, Options{}) {}
 
 crsim::Task NpsSender::Start(cras::SessionId session, const crmedia::ChunkIndex* index) {
+  session_ = session;
   return kernel_->Spawn("nps-sender", options_.priority,
                         [this, session, index](crrt::ThreadContext& ctx) {
                           return SenderThread(ctx, session, index);
                         });
+}
+
+void NpsSender::SendFragment(const NpsFragment& fragment) {
+  NpsReceiver* receiver = receiver_;
+  link_->Send(fragment.bytes, [receiver, fragment] { receiver->OnFragment(fragment); });
+}
+
+void NpsSender::OnNak(const NpsNak& nak) {
+  ++stats_.naks_received;
+  if (obs_ != nullptr) {
+    obs_->naks_received->Add();
+  }
+  auto it = store_.find(nak.seq);
+  if (it == store_.end()) {
+    ++stats_.naks_unknown;  // already pruned (deadline passed long ago)
+    return;
+  }
+  const StoredChunk& stored = it->second;
+  // Deadline-aware give-up: once the chunk's playout deadline has passed,
+  // a retransmission could only arrive to be discarded — drop it here.
+  if (server_->LogicalNow(session_) > stored.deadline) {
+    ++stats_.retransmits_abandoned;
+    if (obs_ != nullptr) {
+      obs_->retransmits_abandoned->Add();
+    }
+    store_.erase(it);
+    return;
+  }
+  const int frag_count = static_cast<int>(stored.frag_bytes.size());
+  auto resend = [&](int index) {
+    NpsFragment fragment;
+    fragment.seq = nak.seq;
+    fragment.frag_index = index;
+    fragment.frag_count = frag_count;
+    fragment.bytes = stored.frag_bytes[static_cast<std::size_t>(index)];
+    fragment.chunk = stored.chunk;
+    fragment.sent_at = stored.sent_at;
+    fragment.retransmit = true;
+    SendFragment(fragment);
+    ++stats_.fragments_retransmitted;
+    if (obs_ != nullptr) {
+      obs_->fragments_retransmitted->Add();
+    }
+  };
+  if (nak.missing.empty()) {
+    for (int i = 0; i < frag_count; ++i) {
+      resend(i);
+    }
+  } else {
+    for (int index : nak.missing) {
+      if (index >= 0 && index < frag_count) {
+        resend(index);
+      }
+    }
+  }
 }
 
 crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId session,
@@ -51,6 +280,14 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
     // clock may still be negative during the stream's initial delay.
     while (server_->LogicalNow(session) < chunk.timestamp - options_.lookahead) {
       co_await ctx.Sleep(options_.poll);
+    }
+    // Drop retained chunks whose playout deadline has passed: a NAK for
+    // them would be refused anyway.
+    if (retransmit_enabled_) {
+      const crbase::Time logical = server_->LogicalNow(session);
+      while (!store_.empty() && store_.begin()->second.deadline < logical) {
+        store_.erase(store_.begin());
+      }
     }
     // Fetch from the shared buffer (crs_get). Data normally precedes the
     // clock by a full interval, so this succeeds immediately; a chunk that
@@ -73,26 +310,86 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
     }
     co_await ctx.Compute(options_.cpu_per_chunk);
 
-    // Fragment onto the wire; the last fragment completes the chunk at the
-    // receiver. Links deliver FIFO, so fragment order is preserved.
+    // Fragment onto the wire. Each fragment carries the chunk's sequence
+    // number, its own index, and the full metadata, so the receiver
+    // reassembles explicitly — loss and reordering are the receiver's to
+    // detect, not ours to signal.
     const crbase::Time sent_at = ctx.Now();
-    std::int64_t remaining = buffered->size;
-    cras::BufferedChunk to_deliver = *buffered;
-    while (remaining > 0) {
+    const std::uint64_t seq = next_seq_++;
+    std::vector<std::int64_t> frag_bytes;
+    for (std::int64_t remaining = buffered->size; remaining > 0;) {
       const std::int64_t fragment = std::min(remaining, options_.max_packet_bytes);
+      frag_bytes.push_back(fragment);
       remaining -= fragment;
+    }
+    const int frag_count = static_cast<int>(frag_bytes.size());
+    if (retransmit_enabled_) {
+      StoredChunk stored;
+      stored.chunk = *buffered;
+      stored.sent_at = sent_at;
+      stored.frag_bytes = frag_bytes;
+      stored.deadline = buffered->timestamp + buffered->duration;
+      store_.emplace(seq, std::move(stored));
+    }
+    for (int i = 0; i < frag_count; ++i) {
+      NpsFragment fragment;
+      fragment.seq = seq;
+      fragment.frag_index = i;
+      fragment.frag_count = frag_count;
+      fragment.bytes = frag_bytes[static_cast<std::size_t>(i)];
+      fragment.chunk = *buffered;
+      fragment.sent_at = sent_at;
+      SendFragment(fragment);
       ++stats_.packets_sent;
-      stats_.bytes_sent += fragment;
-      if (remaining == 0) {
-        NpsReceiver* receiver = receiver_;
-        link_->Send(fragment, [receiver, to_deliver, sent_at] {
-          receiver->Deliver(to_deliver, sent_at);
-        });
-      } else {
-        link_->Send(fragment, nullptr);
-      }
+      stats_.bytes_sent += fragment.bytes;
     }
     ++stats_.chunks_sent;
+  }
+}
+
+void NpsSender::AttachObs(crobs::Hub* hub, const std::string& name) {
+  if (hub == nullptr) {
+    obs_.reset();
+    return;
+  }
+  auto obs = std::make_unique<ObsState>();
+  obs->hub = hub;
+  crobs::Registry& metrics = hub->metrics();
+  const crobs::Labels labels = {{"stream", name}};
+  obs->naks_received = metrics.GetCounter("nps.tx_naks_received", labels);
+  obs->fragments_retransmitted = metrics.GetCounter("nps.tx_retransmits", labels);
+  obs->retransmits_abandoned = metrics.GetCounter("nps.tx_retransmits_abandoned", labels);
+  obs_ = std::move(obs);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseClient
+// ---------------------------------------------------------------------------
+
+LeaseClient::LeaseClient(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
+                         cras::SessionId session, const Options& options)
+    : kernel_(&kernel), server_(&server), link_(&link), session_(session), options_(options) {
+  CRAS_CHECK(options_.period > 0);
+}
+
+LeaseClient::LeaseClient(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
+                         cras::SessionId session)
+    : LeaseClient(kernel, server, link, session, Options{}) {}
+
+crsim::Task LeaseClient::Start() {
+  return kernel_->Spawn("lease-client", options_.priority,
+                        [this](crrt::ThreadContext& ctx) { return HeartbeatThread(ctx); });
+}
+
+crsim::Task LeaseClient::HeartbeatThread(crrt::ThreadContext& ctx) {
+  while (!stopped_) {
+    // The heartbeat rides the (possibly impaired) link: a lost packet is a
+    // missed renewal, exactly as a real lossy network would miss one.
+    cras::CrasServer* server = server_;
+    const cras::SessionId id = session_;
+    link_->Send(options_.heartbeat_bytes, [server, id] { server->RenewLease(id); });
+    ++heartbeats_sent_;
+    co_await ctx.Sleep(options_.period);
   }
 }
 
