@@ -1,0 +1,285 @@
+// Admission audit: the budget ledger's predicted-vs-measured verdict on the
+// CRAS worst-case admission formulas (1)-(15), on a 4-disk striped rig.
+//
+// The bench finds the rig's admitted MPEG1 capacity, then replays 25%, 50%,
+// 75% and 100% of it. At every load the per-interval, per-disk ledger must
+// show zero overruns — no interval where a member disk's measured time
+// (command + seek + rotation + transfer) exceeded the model's per-term
+// worst-case prediction; that is the guarantee the admission proof makes.
+// The interesting number is the slack: mean per-term utilization
+// (actual/predicted) far below 100%, the Figures 8-9 pessimism made
+// attributable — at full load the seek term typically runs ~20-40% of its
+// C-SCAN bound while transfer sits much closer to its estimate.
+//
+// Output: a table, BENCH_admission_audit.json (--out <file>), and the full-
+// load run's flight-recorder dump (--dump=<file>, default
+// flight_dump_admission_audit.json) — the same document a remote operator
+// would pull with crnet::StatsQueryService::DumpQuery.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/ledger.h"
+
+namespace {
+
+constexpr int kDisks = 4;
+
+cras::VolumeTestbedOptions RigOptions() {
+  cras::VolumeTestbedOptions options;
+  options.volume.disks = kDisks;
+  // Keep the disks, not the wired-buffer budget, the binding constraint.
+  options.cras.memory_budget_bytes = 64 * crbase::kMiB;
+  return options;
+}
+
+std::vector<crmedia::MediaFile> MakeFiles(crufs::Ufs& fs, int count, crbase::Duration length) {
+  std::vector<crmedia::MediaFile> files;
+  files.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto file = crmedia::WriteMpeg1File(fs, "movie" + std::to_string(i), length);
+    CRAS_CHECK(file.ok()) << file.status().ToString();
+    files.push_back(std::move(*file));
+  }
+  return files;
+}
+
+// Opens streams until the admission test rejects one; returns the count.
+int CountAdmitted(int candidates) {
+  cras::VolumeTestbed bed(RigOptions());
+  bed.StartServers();
+  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, candidates, crbase::Seconds(4));
+  int accepted = 0;
+  bool rejected = false;
+  crsim::Task opener = bed.kernel.Spawn(
+      "opener", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        for (const auto& file : files) {
+          cras::OpenParams params;
+          params.inode = file.inode;
+          params.index = file.index;
+          auto opened = co_await bed.cras_server.Open(std::move(params));
+          if (!opened.ok()) {
+            rejected = true;
+            co_return;
+          }
+          ++accepted;
+        }
+      });
+  bed.engine().RunFor(crbase::Seconds(4));
+  CRAS_CHECK(rejected) << "raise `candidates`: all " << candidates << " streams were admitted";
+  return accepted;
+}
+
+struct TermUtil {
+  double mean_pct = 0;  // count-weighted mean utilization across disks
+  double max_pct = 0;
+  std::int64_t samples = 0;
+};
+
+struct AuditPoint {
+  int streams = 0;
+  int load_pct = 0;
+  std::int64_t intervals = 0;
+  std::int64_t overruns = 0;
+  std::int64_t late_attributions = 0;
+  std::int64_t deadline_misses = 0;
+  TermUtil command, seek, rotation, transfer, total;
+  double slack_p50 = 0, slack_p95 = 0, slack_p99 = 0;
+};
+
+// Aggregates one term's utilization across the per-disk series.
+TermUtil AggregateTerm(const crobs::RegistrySnapshot& snap, const char* term) {
+  TermUtil util;
+  double weighted = 0;
+  for (const crobs::FamilySnapshot& family : snap.families) {
+    if (family.name != "ledger.util_pct") {
+      continue;
+    }
+    for (const crobs::SeriesSnapshot& series : family.series) {
+      bool matches = false;
+      for (const auto& [k, v] : series.labels) {
+        if (k == "term" && v == term) {
+          matches = true;
+        }
+      }
+      if (!matches || series.count == 0) {
+        continue;
+      }
+      weighted += series.mean * static_cast<double>(series.count);
+      util.samples += series.count;
+      util.max_pct = std::max(util.max_pct, series.max);
+    }
+  }
+  if (util.samples > 0) {
+    util.mean_pct = weighted / static_cast<double>(util.samples);
+  }
+  return util;
+}
+
+// Replays `streams` players on a fresh rig and audits every interval.
+void MeasureAudit(int streams, AuditPoint* point, const std::string& dump_path) {
+  cras::VolumeTestbedOptions rig_options = RigOptions();
+  // A deadline miss (there should be none) freezes a post-mortem dump. The
+  // window spans the whole run so the end-of-run dump keeps the admission
+  // verdicts from the opening second.
+  rig_options.obs.flight.triggers = {crobs::FlightEventKind::kDeadlineMiss};
+  rig_options.obs.flight.window = crbase::Seconds(30);
+  cras::VolumeTestbed bed(rig_options);
+  bed.StartServers();
+  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
+  const crbase::Duration play_length = crbase::Seconds(6);
+  std::vector<std::unique_ptr<cras::PlayerStats>> stats;
+  std::vector<crsim::Task> players;
+  cras::PlayerOptions options;
+  options.play_length = play_length;
+  for (int i = 0; i < streams; ++i) {
+    options.start_delay = crbase::Milliseconds(500) * i / streams;
+    stats.push_back(std::make_unique<cras::PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)], options,
+                                            stats.back().get()));
+  }
+  bed.engine().RunFor(play_length + crbase::Seconds(6));
+  for (const auto& s : stats) {
+    CRAS_CHECK(!s->open_rejected) << "the audit load must fit the admitted count";
+  }
+
+  // Settle the trailing rows (the scheduler closes slot S-2 at slot S; the
+  // last two still-open rows have all their completions by now).
+  crobs::BudgetLedger* ledger = bed.hub.ledger();
+  CRAS_CHECK(ledger != nullptr);
+  ledger->CloseAll();
+
+  const crobs::RegistrySnapshot snap = bed.hub.Snapshot();
+  point->streams = streams;
+  point->intervals = ledger->intervals_closed();
+  point->overruns = ledger->overruns();
+  point->late_attributions = ledger->late_attributions();
+  point->deadline_misses = bed.cras_server.stats().deadline_misses;
+  point->command = AggregateTerm(snap, "command");
+  point->seek = AggregateTerm(snap, "seek");
+  point->rotation = AggregateTerm(snap, "rotation");
+  point->transfer = AggregateTerm(snap, "transfer");
+  point->total = AggregateTerm(snap, "total");
+  if (const crobs::SeriesSnapshot* slack = snap.Find("cras.deadline_slack_ms")) {
+    point->slack_p50 = slack->Percentile(50);
+    point->slack_p95 = slack->Percentile(95);
+    point->slack_p99 = slack->Percentile(99);
+  }
+
+  // The audit verdict: the admission proof held — no disk-interval ran past
+  // its per-term worst-case budget, and no batch missed its boundary.
+  CRAS_CHECK(point->overruns == 0)
+      << point->overruns << " of " << point->intervals
+      << " disk-intervals exceeded the predicted worst case at " << streams << " streams";
+  CRAS_CHECK(point->deadline_misses == 0);
+
+  if (!dump_path.empty()) {
+    if (bed.hub.WriteFlightDump(dump_path, "bench_end")) {
+      std::printf("wrote flight-recorder dump (%zu events, %llu triggers) to %s\n",
+                  bed.hub.flight().size(),
+                  static_cast<unsigned long long>(bed.hub.flight().triggers_fired()),
+                  dump_path.c_str());
+    }
+  }
+}
+
+void WriteTermJson(std::ofstream& out, const char* name, const TermUtil& util) {
+  out << "\"" << name << "\": {\"mean_util_pct\": " << util.mean_pct
+      << ", \"max_util_pct\": " << util.max_pct << ", \"samples\": " << util.samples << "}";
+}
+
+void WriteJson(const std::string& path, int admitted, const std::vector<AuditPoint>& points) {
+  std::ofstream out(path);
+  CRAS_CHECK(out.good()) << "cannot write " << path;
+  out << "{\n"
+      << "  \"bench\": \"admission_audit\",\n"
+      << "  \"stream\": \"MPEG1 1.5 Mb/s\",\n"
+      << "  \"disks\": " << kDisks << ",\n"
+      << "  \"interval_ms\": 500,\n"
+      << "  \"admitted\": " << admitted << ",\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const AuditPoint& p = points[i];
+    out << "    {\"streams\": " << p.streams << ", \"load_pct\": " << p.load_pct
+        << ", \"intervals\": " << p.intervals << ", \"overruns\": " << p.overruns
+        << ", \"late_attributions\": " << p.late_attributions
+        << ", \"deadline_misses\": " << p.deadline_misses << ",\n     ";
+    WriteTermJson(out, "command", p.command);
+    out << ", ";
+    WriteTermJson(out, "seek", p.seek);
+    out << ",\n     ";
+    WriteTermJson(out, "rotation", p.rotation);
+    out << ", ";
+    WriteTermJson(out, "transfer", p.transfer);
+    out << ",\n     ";
+    WriteTermJson(out, "total", p.total);
+    out << ",\n     \"slack_p50_ms\": " << p.slack_p50 << ", \"slack_p95_ms\": " << p.slack_p95
+        << ", \"slack_p99_ms\": " << p.slack_p99 << "}" << (i + 1 < points.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  std::string json_path = "BENCH_admission_audit.json";
+  std::string dump_path = crbench::FlagValue(argc, argv, "--dump=");
+  if (dump_path.empty()) {
+    dump_path = "flight_dump_admission_audit.json";
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  crstats::PrintBanner("Admission audit: predicted vs measured per-term disk budgets");
+  std::printf("%d-disk striped rig, T = 0.5 s, per-disk admission, 64 MiB buffer budget\n",
+              kDisks);
+  const int admitted = CountAdmitted(32 * kDisks);
+  std::printf("admitted capacity: %d MPEG1 streams\n\n", admitted);
+
+  crstats::Table table({"load_pct", "streams", "intervals", "overruns", "misses",
+                        "cmd_util", "seek_util", "rot_util", "xfer_util", "total_util",
+                        "slack_p50_ms", "slack_p99_ms"});
+  table.SetCsv(csv);
+  std::vector<AuditPoint> points;
+  for (const int load_pct : {25, 50, 75, 100}) {
+    AuditPoint point;
+    point.load_pct = load_pct;
+    const int streams = std::max(1, admitted * load_pct / 100);
+    // Only the full-load (the binding) run leaves the dump behind.
+    MeasureAudit(streams, &point, load_pct == 100 ? dump_path : std::string());
+    table.Cell(static_cast<std::int64_t>(load_pct))
+        .Cell(static_cast<std::int64_t>(point.streams))
+        .Cell(point.intervals)
+        .Cell(point.overruns)
+        .Cell(point.deadline_misses)
+        .Cell(point.command.mean_pct, 1)
+        .Cell(point.seek.mean_pct, 1)
+        .Cell(point.rotation.mean_pct, 1)
+        .Cell(point.transfer.mean_pct, 1)
+        .Cell(point.total.mean_pct, 1)
+        .Cell(point.slack_p50, 1)
+        .Cell(point.slack_p99, 1);
+    table.EndRow();
+    points.push_back(point);
+  }
+  table.Print();
+
+  WriteJson(json_path, admitted, points);
+  std::printf("\nWrote %s. Expected: zero overruns and zero deadline misses at every\n"
+              "load — measured per-disk interval time never exceeds the per-term\n"
+              "worst-case prediction — with mean total utilization well under 100%%\n"
+              "(the admission formulas' deliberate pessimism, now attributed per term:\n"
+              "seek runs far below its C-SCAN bound, transfer closest to its estimate).\n",
+              json_path.c_str());
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/obs/ledger.h"
 
 namespace cras {
 
@@ -107,12 +108,18 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
       metrics.GetHistogram("cras.deadline_slack_ms", {}, crobs::LatencyBucketsMs());
   obs->degraded_slack_ms =
       metrics.GetHistogram("cras.degraded_slack_ms", {}, crobs::LatencyBucketsMs());
+  obs->ledger = std::make_unique<crobs::BudgetLedger>(&metrics);
+  hub->SetLedger(obs->ledger.get());
   obs_ = std::move(obs);
 }
 
 CrasServer::~CrasServer() {
   // The volume may outlive this server; its listener must not.
   volume_->SetMemberStateListener(nullptr);
+  // Likewise the hub: detach the dying ledger before dumps can touch it.
+  if (obs_ != nullptr && obs_->hub->ledger() == obs_->ledger.get()) {
+    obs_->hub->SetLedger(nullptr);
+  }
   // Control messages still queued hold their senders' parked chains;
   // draining them lets each message's ParkedHandle reclaim its client. The
   // thread Tasks (declared after the ports) have already been destroyed.
@@ -241,8 +248,34 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     record.scheduler_lateness = tick.lateness;
     // The binding member disk's estimate; on a one-disk volume exactly the
     // paper's single-disk figure.
-    record.estimated_io = volume_admission_.Evaluate(CurrentDemands()).WorstIoTime();
+    const crvol::VolumeAdmissionModel::Estimate estimate =
+        volume_admission_.Evaluate(CurrentDemands());
+    record.estimated_io = estimate.WorstIoTime();
     interval_records_.push_back(record);
+
+    if (obs_ != nullptr) {
+      crobs::BudgetLedger& ledger = *obs_->ledger;
+      // Slot-2's I/O deadline was the previous boundary; its completions are
+      // all attributed by now, so its audit row is final.
+      if (slot >= 2) {
+        ledger.CloseInterval(static_cast<std::int64_t>(slot) - 2);
+      }
+      ledger.BeginInterval(static_cast<std::int64_t>(slot), kernel_->Now());
+      for (int d = 0; d < static_cast<int>(estimate.per_disk.size()); ++d) {
+        const crvol::VolumeAdmissionModel::DiskEstimate& disk =
+            estimate.per_disk[static_cast<std::size_t>(d)];
+        if (disk.requests <= 0) {
+          continue;
+        }
+        crobs::BudgetTerms predicted;
+        predicted.command_ms = crobs::ToMillis(disk.terms.command);
+        predicted.seek_ms = crobs::ToMillis(disk.terms.seek);
+        predicted.rotation_ms = crobs::ToMillis(disk.terms.rotation);
+        predicted.transfer_ms = crobs::ToMillis(disk.transfer);
+        predicted.other_ms = crobs::ToMillis(disk.terms.other);
+        ledger.SetPrediction(static_cast<std::int64_t>(slot), d, predicted, disk.requests);
+      }
+    }
 
     const crbase::Time deadline = timer.BoundaryOf(tick.index + 1);
     const std::int64_t requests = IssueIntervalIo(slot, deadline);
@@ -271,6 +304,18 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
     --batch.outstanding;
     if (batch.interval_slot < interval_records_.size()) {
       interval_records_[batch.interval_slot].actual_io += msg.completion.service_time();
+    }
+    if (obs_ != nullptr && msg.disk >= 0) {
+      // Fold the request's measured phase breakdown into its interval's
+      // audit row. No measured "other" term: the simulated array carries no
+      // non-real-time traffic, so B_other/D is pure slack.
+      crobs::BudgetTerms actual;
+      actual.command_ms = crobs::ToMillis(msg.completion.command_time);
+      actual.seek_ms = crobs::ToMillis(msg.completion.seek_time);
+      actual.rotation_ms = crobs::ToMillis(msg.completion.rotation_time);
+      actual.transfer_ms = crobs::ToMillis(msg.completion.transfer_time);
+      obs_->ledger->AddActual(static_cast<std::int64_t>(batch.interval_slot), msg.disk,
+                              actual);
     }
     if (batch.kind == SessionKind::kRead) {
       stats_.bytes_read += msg.completion.bytes();
@@ -301,6 +346,11 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
       if (kernel_->Now() > batch.deadline) {
         if (batch.interval_slot < interval_records_.size()) {
           interval_records_[batch.interval_slot].completed_by_deadline = false;
+        }
+        if (obs_ != nullptr) {
+          obs_->hub->flight().Record(crobs::FlightEventKind::kDeadlineMiss, batch.session,
+                                     static_cast<std::int64_t>(batch.interval_slot),
+                                     crobs::ToMillis(kernel_->Now() - batch.deadline));
         }
         // The interval's I/O did not land by its boundary: this is the
         // deadline the deadline-manager thread watches over.
@@ -337,7 +387,7 @@ crsim::Task CrasServer::SignalHandlerThread(crrt::ThreadContext&) {
   // Wake every blocked sibling with its sentinel.
   control_port_.Send(ControlMsg{ControlMsg::kShutdown, kInvalidSession, OpenParams{}, 0, 0,
                                 nullptr, {}});
-  io_done_port_.Send(IoDoneMsg{0, {}});
+  io_done_port_.Send(IoDoneMsg{0, -1, {}});
   deadline_port_.Send(crrt::DeadlineMiss{-1, 0, 0});
   fault_port_.Send(MemberChange{-1, crvol::MemberState::kHealthy});
 }
@@ -648,8 +698,9 @@ void CrasServer::ReapExpired() {
     record.logical_pos = session.clock->Now();
     record.started = session.started;
     record.reaped_at = now;
+    const crbase::Duration lease_age = now - session.lease_renewed_at;
     CRAS_LOG(kWarning) << "CRAS reaping session " << id << " (lease lapsed "
-                       << crbase::FormatDuration(now - session.lease_renewed_at) << " ago)";
+                       << crbase::FormatDuration(lease_age) << " ago)";
     CRAS_CHECK(HandleClose(id).ok());
     reaped_ids_.insert(id);
     reaped_.emplace(id, std::move(record));
@@ -660,6 +711,8 @@ void CrasServer::ReapExpired() {
     ++stats_.sessions_reaped;
     if (obs_ != nullptr) {
       obs_->sessions_reaped->Add();
+      obs_->hub->flight().Record(crobs::FlightEventKind::kLeaseReap, id, 0,
+                                 crobs::ToMillis(lease_age));
       obs_->hub->trace().Instant(obs_->track, obs_->n_reap, static_cast<double>(id));
     }
   }
@@ -691,6 +744,8 @@ void CrasServer::ApplyMemberChange(const MemberChange& change) {
       break;
   }
   if (obs_ != nullptr) {
+    obs_->hub->flight().Record(crobs::FlightEventKind::kMemberChange, change.disk, 0, 0,
+                               crvol::MemberStateName(change.state));
     obs_->hub->trace().Instant(obs_->track, obs_->n_member,
                                static_cast<double>(change.disk));
   }
@@ -736,6 +791,7 @@ void CrasServer::ShedUntilAdmissible() {
     CRAS_LOG(kWarning) << "CRAS shedding session " << id << " (degraded array)";
     if (obs_ != nullptr) {
       obs_->streams_shed->Add();
+      obs_->hub->flight().Record(crobs::FlightEventKind::kStreamShed, id);
       obs_->hub->trace().Instant(obs_->track, obs_->n_shed, static_cast<double>(id));
     }
     CRAS_CHECK(HandleClose(id).ok());
@@ -838,8 +894,9 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
         request.sectors = segment.sectors;
         request.realtime = true;
         const std::uint64_t batch_id = batch.id;
-        request.on_complete = [this, batch_id](const crdisk::DiskCompletion& completion) {
-          io_done_port_.Send(IoDoneMsg{batch_id, completion});
+        const int disk = segment.disk;
+        request.on_complete = [this, batch_id, disk](const crdisk::DiskCompletion& completion) {
+          io_done_port_.Send(IoDoneMsg{batch_id, disk, completion});
         };
         ++batch.outstanding;
         planned.push_back(

@@ -398,6 +398,7 @@ class CrasServer {
 
   struct IoDoneMsg {
     std::uint64_t batch_id = 0;
+    int disk = -1;  // member disk that served it (budget-ledger attribution)
     crdisk::DiskCompletion completion;
   };
 
@@ -477,6 +478,10 @@ class CrasServer {
     // Slack recorded only while the volume is degraded: how much margin the
     // reconstruction-loaded array keeps to the interval boundary.
     crobs::Histogram* degraded_slack_ms = nullptr;
+    // Admission-audit ledger: per-interval, per-disk predicted-vs-measured
+    // budget terms. Owned here (it audits this server's admission state);
+    // the hub holds a borrowed pointer for flight-recorder dumps.
+    std::unique_ptr<crobs::BudgetLedger> ledger;
   };
   void AttachObs(crobs::Hub* hub);
 

@@ -215,6 +215,8 @@ void FaultInjector::Apply(const FaultEvent& event) {
                     {{"kind", FaultKindName(event.kind)},
                      {"target", is_link ? "link" : "disk" + std::to_string(event.disk)}})
         ->Add();
+    obs_->hub->flight().Record(crobs::FlightEventKind::kFaultInjected,
+                               is_link ? 0 : event.disk, 0, 0, FaultKindName(event.kind));
     crobs::Tracer& trace = obs_->hub->trace();
     if (trace.enabled()) {
       trace.Instant(obs_->track, trace.InternName(FaultKindName(event.kind)),

@@ -170,6 +170,8 @@ void NpsReceiver::Abandon(std::uint64_t seq, Reassembly& entry) {
   ++stats_.chunks_abandoned;
   if (obs_ != nullptr) {
     obs_->chunks_abandoned->Add();
+    obs_->hub->flight().Record(crobs::FlightEventKind::kNakGiveUp,
+                               static_cast<std::int64_t>(seq), entry.naks, 0, "receiver");
   }
   done_.insert(seq);
   pending_.erase(seq);
@@ -239,6 +241,8 @@ void NpsSender::OnNak(const NpsNak& nak) {
     ++stats_.retransmits_abandoned;
     if (obs_ != nullptr) {
       obs_->retransmits_abandoned->Add();
+      obs_->hub->flight().Record(crobs::FlightEventKind::kNakGiveUp,
+                                 static_cast<std::int64_t>(nak.seq), 0, 0, "sender");
     }
     store_.erase(it);
     return;

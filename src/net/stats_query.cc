@@ -32,7 +32,8 @@ crsim::Task StatsQueryService::ServiceThread(crrt::ThreadContext& ctx) {
   for (;;) {
     QueryMsg msg = co_await port_.Receive();
     co_await ctx.Compute(options_.cpu_per_query);
-    std::string json = hub_->MetricsJson(msg.prefix);
+    std::string json =
+        msg.dump ? hub_->FlightDumpJson(msg.reason) : hub_->MetricsJson(msg.prefix);
     ++stats_.queries;
     stats_.reply_bytes += static_cast<std::int64_t>(json.size());
     if (link_ == nullptr) {

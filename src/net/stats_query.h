@@ -72,11 +72,24 @@ class StatsQueryService {
     return QueryAwaiter{this, std::move(msg), {}};
   }
 
+  // Remote flight-recorder dump: the reply is the hub's full dump document
+  // (event window + budget-ledger tail + metrics snapshot) rendered at the
+  // moment the service thread handles the query — the post-mortem pull an
+  // operator makes after noticing an anomaly from the client host.
+  auto DumpQuery(std::string reason = "query") {
+    QueryMsg msg;
+    msg.dump = true;
+    msg.reason = std::move(reason);
+    return QueryAwaiter{this, std::move(msg), {}};
+  }
+
   const StatsQueryStats& stats() const { return stats_; }
 
  private:
   struct QueryMsg {
     std::string prefix;  // metric-family name filter; empty = everything
+    bool dump = false;   // flight-recorder dump instead of a metrics snapshot
+    std::string reason;  // recorded in the dump header (dump queries only)
     std::function<void(std::string)> done;
     // Client frame suspended until `done` fires. Owning: dropping the
     // message destroys the client's chain with it.

@@ -1,0 +1,196 @@
+#include "src/obs/ledger.h"
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+
+namespace crobs {
+
+namespace {
+
+// One utilization histogram per (disk, term) pair; families are shared, so
+// lookups go through the registry each emit (cold path: once per interval).
+Histogram* UtilHistogram(Registry* metrics, int disk, const char* term) {
+  return metrics->GetHistogram(
+      "ledger.util_pct",
+      {{"disk", "disk" + std::to_string(disk)}, {"term", term}},
+      UtilizationBucketsPct());
+}
+
+void RecordUtil(Registry* metrics, int disk, const char* term, double actual_ms,
+                double predicted_ms) {
+  if (predicted_ms <= 0) {
+    return;  // term absent from this interval's budget; nothing to audit
+  }
+  UtilHistogram(metrics, disk, term)->Record(100.0 * actual_ms / predicted_ms);
+}
+
+void WriteTerms(std::ostream& out, const BudgetTerms& terms) {
+  out << "{\"command_ms\": ";
+  WriteJsonNumber(out, terms.command_ms);
+  out << ", \"seek_ms\": ";
+  WriteJsonNumber(out, terms.seek_ms);
+  out << ", \"rotation_ms\": ";
+  WriteJsonNumber(out, terms.rotation_ms);
+  out << ", \"transfer_ms\": ";
+  WriteJsonNumber(out, terms.transfer_ms);
+  out << ", \"other_ms\": ";
+  WriteJsonNumber(out, terms.other_ms);
+  out << ", \"total_ms\": ";
+  WriteJsonNumber(out, terms.total_ms());
+  out << "}";
+}
+
+}  // namespace
+
+BudgetLedger::BudgetLedger(Registry* metrics) : BudgetLedger(metrics, Options{}) {}
+
+BudgetLedger::BudgetLedger(Registry* metrics, const Options& options)
+    : metrics_(metrics), options_(options) {
+  if (options_.max_intervals == 0) {
+    options_.max_intervals = 1;
+  }
+  c_intervals_ = metrics_->GetCounter("ledger.intervals");
+  c_overruns_ = metrics_->GetCounter("ledger.overruns");
+  c_late_ = metrics_->GetCounter("ledger.late_attributions");
+}
+
+BudgetLedger::IntervalRow* BudgetLedger::FindRow(std::int64_t slot) {
+  // Attribution targets the newest few rows; search from the back.
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->slot == slot) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+BudgetLedger::DiskRow* BudgetLedger::FindDisk(IntervalRow& row, int disk, bool create) {
+  for (DiskRow& d : row.disks) {
+    if (d.disk == disk) {
+      return &d;
+    }
+  }
+  if (!create) {
+    return nullptr;
+  }
+  row.disks.push_back(DiskRow{});
+  row.disks.back().disk = disk;
+  return &row.disks.back();
+}
+
+void BudgetLedger::BeginInterval(std::int64_t slot, crbase::Time now) {
+  rows_.push_back(IntervalRow{});
+  rows_.back().slot = slot;
+  rows_.back().began_at = now;
+  while (rows_.size() > options_.max_intervals) {
+    if (!rows_.front().closed) {
+      // Evicted before its completions could be audited; don't let the
+      // eviction masquerade as a clean interval.
+      ++late_attributions_;
+      c_late_->Add();
+    }
+    rows_.pop_front();
+  }
+}
+
+void BudgetLedger::SetPrediction(std::int64_t slot, int disk, const BudgetTerms& terms,
+                                 std::int64_t requests) {
+  IntervalRow* row = FindRow(slot);
+  if (row == nullptr || row->closed) {
+    ++late_attributions_;
+    c_late_->Add();
+    return;
+  }
+  DiskRow* d = FindDisk(*row, disk, /*create=*/true);
+  d->predicted = terms;
+  d->predicted_requests = requests;
+}
+
+void BudgetLedger::AddActual(std::int64_t slot, int disk, const BudgetTerms& terms) {
+  IntervalRow* row = FindRow(slot);
+  if (row == nullptr || row->closed) {
+    ++late_attributions_;
+    c_late_->Add();
+    return;
+  }
+  DiskRow* d = FindDisk(*row, disk, /*create=*/true);
+  d->actual.command_ms += terms.command_ms;
+  d->actual.seek_ms += terms.seek_ms;
+  d->actual.rotation_ms += terms.rotation_ms;
+  d->actual.transfer_ms += terms.transfer_ms;
+  d->actual.other_ms += terms.other_ms;
+  ++d->actual_requests;
+}
+
+void BudgetLedger::EmitRow(const IntervalRow& row) {
+  ++intervals_closed_;
+  c_intervals_->Add();
+  for (const DiskRow& d : row.disks) {
+    RecordUtil(metrics_, d.disk, "command", d.actual.command_ms, d.predicted.command_ms);
+    RecordUtil(metrics_, d.disk, "seek", d.actual.seek_ms, d.predicted.seek_ms);
+    RecordUtil(metrics_, d.disk, "rotation", d.actual.rotation_ms, d.predicted.rotation_ms);
+    RecordUtil(metrics_, d.disk, "transfer", d.actual.transfer_ms, d.predicted.transfer_ms);
+    RecordUtil(metrics_, d.disk, "total", d.actual.total_ms(), d.predicted.total_ms());
+    if (d.overrun()) {
+      ++overruns_;
+      c_overruns_->Add();
+    }
+  }
+}
+
+void BudgetLedger::CloseInterval(std::int64_t slot) {
+  IntervalRow* row = FindRow(slot);
+  if (row == nullptr || row->closed) {
+    return;
+  }
+  row->closed = true;
+  EmitRow(*row);
+}
+
+void BudgetLedger::CloseAll() {
+  for (IntervalRow& row : rows_) {
+    if (!row.closed) {
+      row.closed = true;
+      EmitRow(row);
+    }
+  }
+}
+
+void BudgetLedger::WriteJsonTail(std::ostream& out, std::size_t max_rows) const {
+  const std::size_t skip = rows_.size() > max_rows ? rows_.size() - max_rows : 0;
+  out << "[";
+  bool first = true;
+  std::size_t index = 0;
+  for (const IntervalRow& row : rows_) {
+    if (index++ < skip) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n  {\"slot\": " << row.slot << ", \"began_at_ns\": " << row.began_at
+        << ", \"closed\": " << (row.closed ? "true" : "false") << ", \"disks\": [";
+    bool first_disk = true;
+    for (const DiskRow& d : row.disks) {
+      if (!first_disk) {
+        out << ",";
+      }
+      first_disk = false;
+      out << "\n   {\"disk\": " << d.disk
+          << ", \"predicted_requests\": " << d.predicted_requests
+          << ", \"actual_requests\": " << d.actual_requests
+          << ", \"overrun\": " << (d.overrun() ? "true" : "false")
+          << ", \"predicted\": ";
+      WriteTerms(out, d.predicted);
+      out << ", \"actual\": ";
+      WriteTerms(out, d.actual);
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "\n ]";
+}
+
+}  // namespace crobs

@@ -49,6 +49,36 @@ const char* MetricKindName(MetricKind kind) {
 
 // ---- Snapshot ----
 
+double SeriesSnapshot::Percentile(double p) const {
+  if (count <= 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  if (buckets.empty()) {
+    // Poisoned bounds kept only the summary: interpolate the whole range.
+    return min + p / 100.0 * (max - min);
+  }
+  // The rank is a position in [0, count]; the percentile lies in the first
+  // bucket whose cumulative count reaches it.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const std::int64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      const double lower = i == 0 ? min : upper_bounds[i - 1];
+      const double upper = i < upper_bounds.size() ? upper_bounds[i] : max;
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(buckets[i]);
+      return std::clamp(lower + frac * (upper - lower), min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 const SeriesSnapshot* RegistrySnapshot::Find(std::string_view name, Labels labels) const {
   labels = Normalize(std::move(labels));
   for (const FamilySnapshot& family : families) {
@@ -111,6 +141,12 @@ void RegistrySnapshot::WriteJson(std::ostream& out) const {
           WriteJsonNumber(out, series.mean);
           out << ", \"stddev\": ";
           WriteJsonNumber(out, series.stddev);
+          out << ", \"p50\": ";
+          WriteJsonNumber(out, series.Percentile(50));
+          out << ", \"p95\": ";
+          WriteJsonNumber(out, series.Percentile(95));
+          out << ", \"p99\": ";
+          WriteJsonNumber(out, series.Percentile(99));
           out << ", \"buckets\": [";
           for (std::size_t i = 0; i < series.buckets.size(); ++i) {
             if (i > 0) {

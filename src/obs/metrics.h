@@ -86,6 +86,13 @@ struct SeriesSnapshot {
   double stddev = 0;
   std::vector<double> upper_bounds;
   std::vector<std::int64_t> buckets;  // one per bound, plus trailing overflow
+
+  // Interpolated percentile (p in [0, 100]) from the fixed bins: linear
+  // within the bucket containing the rank, with the recorded min/max as the
+  // outer bucket edges and the result clamped to [min, max]. Exact for
+  // empty (0) and single-sample (that sample) series; meaningful for
+  // histogram series only. Deterministic: a pure function of the snapshot.
+  double Percentile(double p) const;
 };
 
 struct FamilySnapshot {

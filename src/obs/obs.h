@@ -14,11 +14,14 @@
 #include <vector>
 
 #include "src/base/time_units.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/engine.h"
 
 namespace crobs {
+
+class BudgetLedger;
 
 // Nanoseconds -> milliseconds, the unit all latency metrics use.
 inline double ToMillis(crbase::Duration d) { return static_cast<double>(d) / 1e6; }
@@ -32,10 +35,13 @@ class Hub {
  public:
   struct Options {
     Tracer::Options trace;
+    FlightRecorder::Options flight;
   };
 
   explicit Hub(const crsim::Engine& engine, const Options& options = {})
-      : engine_(&engine), tracer_(engine, options.trace) {}
+      : engine_(&engine),
+        tracer_(engine, options.trace),
+        flight_(engine, this, options.flight) {}
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 
@@ -43,8 +49,20 @@ class Hub {
   const Registry& metrics() const { return metrics_; }
   Tracer& trace() { return tracer_; }
   const Tracer& trace() const { return tracer_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
+  // The budget ledger is owned by the instrumented server (it dies with the
+  // admission state it audits); the server points the hub at it so dumps can
+  // include the ledger tail, and detaches it again on teardown.
+  void SetLedger(BudgetLedger* ledger) { ledger_ = ledger; }
+  BudgetLedger* ledger() const { return ledger_; }
 
   crbase::Time Now() const { return engine_->Now(); }
+
+  // Registry snapshot plus hub-synthesized series (obs.trace_dropped_events,
+  // the tracer ring's drop count), kept in lexicographic family order.
+  RegistrySnapshot Snapshot() const;
 
   // {"sim_time_ns": ..., "metrics": {<registry snapshot>}}
   // A non-empty `prefix` restricts the snapshot to metric families whose
@@ -57,10 +75,17 @@ class Hub {
   // logs) if the file cannot be opened.
   bool WriteTraceFile(const std::string& path) const;
 
+  // Flight-recorder dump rendered at the current instant (see
+  // FlightRecorder::RenderDump); WriteFlightDump puts it in a file.
+  std::string FlightDumpJson(std::string_view reason) const;
+  bool WriteFlightDump(const std::string& path, std::string_view reason) const;
+
  private:
   const crsim::Engine* engine_;
   Registry metrics_;
   Tracer tracer_;
+  FlightRecorder flight_;
+  BudgetLedger* ledger_ = nullptr;
 };
 
 }  // namespace crobs

@@ -139,6 +139,10 @@ void Tracer::WriteChromeJson(std::ostream& out) const {
     WriteJsonString(out, strings_[tracks_[tid]]);
     out << "}}";
   }
+  comma();
+  out << "{\"ph\": \"M\", \"pid\": " << kPid
+      << ", \"name\": \"trace_stats\", \"args\": {\"recorded\": " << recorded_
+      << ", \"dropped\": " << dropped_ << ", \"capacity\": " << capacity_ << "}}";
 
   for (const TraceEvent& event : Events()) {
     comma();

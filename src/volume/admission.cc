@@ -27,20 +27,31 @@ std::int64_t AdmissionModel::BufferBytes(const StreamDemand& demand) const {
   return 2 * BytesPerInterval(demand);
 }
 
-Duration AdmissionModel::TotalOverhead(std::int64_t requests) const {
+OverheadTerms AdmissionModel::Overheads(std::int64_t requests) const {
+  OverheadTerms terms;
   if (requests <= 0) {
-    return 0;
+    return terms;
   }
-  const Duration other_transfer =
-      crbase::TransferTime(params_.b_other, params_.transfer_rate);
+  terms.other = crbase::TransferTime(params_.b_other, params_.transfer_rate);
   if (requests == 1) {
-    // (14): O_other + one worst-case seek + rotation + command.
-    return other_transfer + 2 * (params_.t_seek_max + params_.t_rot + params_.t_cmd);
+    // (14): O_other + one worst-case seek + rotation + command. The O_other
+    // mechanical components (its wrap seek, rotation, command) fold into the
+    // matching terms so each histogram audits one physical mechanism.
+    terms.command = 2 * params_.t_cmd;
+    terms.seek = 2 * params_.t_seek_max;
+    terms.rotation = 2 * params_.t_rot;
+    return terms;
   }
   // (15): O_other, plus the C-SCAN sweep bound 2*T_seek_max +
   // (N-2)*T_seek_min, plus per-request rotation and command overheads.
-  return other_transfer + 3 * params_.t_seek_max + (requests - 2) * params_.t_seek_min +
-         (requests + 1) * (params_.t_rot + params_.t_cmd);
+  terms.command = (requests + 1) * params_.t_cmd;
+  terms.seek = 3 * params_.t_seek_max + (requests - 2) * params_.t_seek_min;
+  terms.rotation = (requests + 1) * params_.t_rot;
+  return terms;
+}
+
+Duration AdmissionModel::TotalOverhead(std::int64_t requests) const {
+  return Overheads(requests).total();
 }
 
 AdmissionEstimate AdmissionModel::Evaluate(const std::vector<StreamDemand>& streams) const {
@@ -50,7 +61,8 @@ AdmissionEstimate AdmissionModel::Evaluate(const std::vector<StreamDemand>& stre
     estimate.bytes += BytesPerInterval(s);
     estimate.buffer_bytes += BufferBytes(s);
   }
-  estimate.overhead = TotalOverhead(estimate.requests);
+  estimate.terms = Overheads(estimate.requests);
+  estimate.overhead = estimate.terms.total();
   estimate.transfer = crbase::TransferTime(estimate.bytes, params_.transfer_rate);
   return estimate;
 }

@@ -59,6 +59,20 @@ struct StreamDemand {
   std::int64_t chunk_bytes = 0;   // C_i
 };
 
+// O_total(N) split by mechanism, so the audit ledger can compare each term
+// against its measured counterpart. total() reproduces (14)/(15) exactly:
+//   N == 1: command = 2*T_cmd, seek = 2*T_seek_max, rotation = 2*T_rot
+//   N >= 2: command = (N+1)*T_cmd, seek = 3*T_seek_max + (N-2)*T_seek_min,
+//           rotation = (N+1)*T_rot
+// and other = B_other/D in both (the lone non-real-time request, (9)).
+struct OverheadTerms {
+  Duration command = 0;
+  Duration seek = 0;
+  Duration rotation = 0;
+  Duration other = 0;
+  Duration total() const { return command + seek + rotation + other; }
+};
+
 // The per-interval cost estimate for a set of admitted streams.
 struct AdmissionEstimate {
   std::int64_t requests = 0;       // N
@@ -66,6 +80,7 @@ struct AdmissionEstimate {
   std::int64_t buffer_bytes = 0;   // B_total
   Duration overhead = 0;           // O_total(N)
   Duration transfer = 0;           // A_total / D
+  OverheadTerms terms;             // O_total(N) decomposed
   Duration io_time() const { return overhead + transfer; }
 };
 
@@ -84,6 +99,8 @@ class AdmissionModel {
   // B_i = 2*A_i: the stream's share of buffer memory.
   std::int64_t BufferBytes(const StreamDemand& demand) const;
 
+  // O_total(N) decomposed by mechanism; all-zero for N <= 0.
+  OverheadTerms Overheads(std::int64_t requests) const;
   // O_total(N), formulas (14)/(15); zero for N == 0.
   Duration TotalOverhead(std::int64_t requests) const;
 

@@ -73,8 +73,8 @@ VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
   if (n == 1 && failed == 0) {
     // Exactly the paper's single-disk test.
     const cras::AdmissionEstimate single = models_.front().Evaluate(streams);
-    estimate.per_disk.push_back(
-        DiskEstimate{single.requests, single.bytes, single.overhead, single.transfer});
+    estimate.per_disk.push_back(DiskEstimate{single.requests, single.bytes, single.overhead,
+                                             single.transfer, single.terms});
     estimate.bytes = single.bytes;
     estimate.buffer_bytes = single.buffer_bytes;
     return estimate;
@@ -122,7 +122,8 @@ VolumeAdmissionModel::Estimate VolumeAdmissionModel::Evaluate(
     DiskEstimate disk;
     disk.requests = requests_d;
     disk.bytes = bytes_d;
-    disk.overhead = model.TotalOverhead(requests_d);
+    disk.terms = model.Overheads(requests_d);
+    disk.overhead = disk.terms.total();
     disk.transfer = crbase::TransferTime(bytes_d, model.params().transfer_rate);
     estimate.per_disk.push_back(disk);
   }
@@ -149,6 +150,9 @@ bool VolumeAdmissionModel::Admissible(const std::vector<cras::StreamDemand>& str
     const double worst_ms = crobs::ToMillis(estimate.WorstIoTime());
     (admit ? obs_->accepted : obs_->rejected)->Add();
     obs_->worst_io_ms->Record(worst_ms);
+    obs_->hub->flight().Record(admit ? crobs::FlightEventKind::kAdmissionAccept
+                                     : crobs::FlightEventKind::kAdmissionReject,
+                               static_cast<std::int64_t>(streams.size()), 0, worst_ms);
     crobs::Tracer& trace = obs_->hub->trace();
     if (trace.enabled()) {
       trace.Instant(obs_->track, admit ? obs_->n_accept : obs_->n_reject, worst_ms);

@@ -100,6 +100,7 @@ class VolumeAdmissionModel {
     std::int64_t bytes = 0;     // A_d
     Duration overhead = 0;      // O_total(N_d), that disk's parameters
     Duration transfer = 0;      // A_d / D_d
+    cras::OverheadTerms terms;  // the overhead decomposed (audit ledger)
     Duration io_time() const { return overhead + transfer; }
   };
 

@@ -8,11 +8,13 @@
 #include <vector>
 
 #include "src/base/bytes.h"
+#include "src/core/player.h"
 #include "src/core/testbed.h"
 #include "src/fault/fault.h"
 #include "src/media/media_file.h"
 #include "src/net/link.h"
 #include "src/net/nps.h"
+#include "src/net/stats_query.h"
 
 namespace crnet {
 namespace {
@@ -600,6 +602,75 @@ TEST(Lease, ReconnectUnknownSessionIsNotFound) {
       });
   rig.bed->engine().RunFor(Milliseconds(50));
   EXPECT_TRUE(not_found);
+}
+
+// ---------------------------------------------------------------------------
+// Remote post-mortem: DumpQuery pulls the flight recorder over the wire.
+
+TEST(FlightDump, RemoteDumpQueryCapturesFailureAutopsy) {
+  // A member of a 2-disk striped (no parity) volume fail-stops mid-playback:
+  // nothing is admissible on the survivor, so the server sheds every stream.
+  // The operator on the client host then pulls a flight-recorder dump over
+  // the link and must see the whole causal chain — the injected fault, the
+  // member-state change, and the shed decisions — plus the budget-ledger
+  // tail, without any access to the server host.
+  cras::VolumeTestbedOptions options;
+  options.volume.disks = 2;
+  cras::VolumeTestbed bed(options);
+  bed.StartServers();
+
+  constexpr int kStreams = 4;
+  std::vector<crmedia::MediaFile> files;
+  for (int i = 0; i < kStreams; ++i) {
+    auto movie = crmedia::WriteMpeg1File(bed.fs, "movie" + std::to_string(i), Seconds(6));
+    ASSERT_TRUE(movie.ok());
+    files.push_back(std::move(*movie));
+  }
+  std::vector<std::unique_ptr<cras::PlayerStats>> player_stats;
+  std::vector<crsim::Task> players;
+  cras::PlayerOptions player_options;
+  player_options.play_length = Seconds(4);
+  for (int i = 0; i < kStreams; ++i) {
+    player_options.start_delay = Milliseconds(37) * i;
+    player_stats.push_back(std::make_unique<cras::PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)],
+                                            player_options, player_stats.back().get()));
+  }
+
+  Link link(bed.engine());  // the default 10 Mb/s segment
+  StatsQueryService stats(bed.kernel, bed.hub, &link);
+  stats.Start();
+
+  crfault::FaultPlan plan;
+  plan.FailStop(Milliseconds(1500), 0);
+  crfault::FaultInjector injector(bed.engine(), bed.volume, plan);
+  injector.AttachObs(&bed.hub);
+  injector.Arm();
+
+  std::string dump;
+  crsim::Task operator_task = bed.kernel.Spawn(
+      "operator", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        co_await ctx.Sleep(Seconds(3));  // notice the outage, then pull
+        dump = co_await stats.DumpQuery("operator_pull");
+      });
+  bed.engine().RunFor(Seconds(5));
+
+  // The failure actually bit: every stream was shed.
+  ASSERT_EQ(injector.events_fired(), 1);
+  EXPECT_EQ(bed.cras_server.stats().streams_shed, kStreams);
+
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\": \"operator_pull\""), std::string::npos);
+  EXPECT_NE(dump.find("\"fault_injected\""), std::string::npos);
+  EXPECT_NE(dump.find("\"member_change\""), std::string::npos);
+  EXPECT_NE(dump.find("\"detail\": \"failed\""), std::string::npos);
+  EXPECT_NE(dump.find("\"stream_shed\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ledger_tail\""), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+  // The dump rode the link as ordinary traffic.
+  EXPECT_EQ(stats.stats().queries, 1);
+  EXPECT_EQ(stats.stats().reply_bytes, static_cast<std::int64_t>(dump.size()));
 }
 
 TEST(Lease, DisabledByDefaultNothingReaps) {

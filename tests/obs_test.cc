@@ -13,8 +13,10 @@
 
 #include "src/core/testbed.h"
 #include "src/media/media_file.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/stats/summary.h"
 
 namespace crobs {
 namespace {
@@ -383,6 +385,352 @@ TEST(Trace, ChromeJsonIsWellFormed) {
 TEST(Trace, MetricsJsonIsWellFormedEndToEnd) {
   const std::string json = RunOnceAndSnapshot();
   EXPECT_TRUE(JsonChecker(json).Valid());
+}
+
+TEST(Trace, ChromeJsonCarriesDropStatsMetadata) {
+  crsim::Engine engine;
+  Tracer::Options options;
+  options.enabled = true;
+  options.capacity = 4;
+  Tracer tracer(engine, options);
+  const std::uint32_t track = tracer.InternTrack("t");
+  const std::uint32_t name = tracer.InternName("tick");
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant(track, name);
+  }
+  std::ostringstream out;
+  tracer.WriteChromeJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"trace_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\": 4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles: interpolated p from the fixed bins.
+// ---------------------------------------------------------------------------
+
+std::vector<double> UnitBounds(int n) {
+  std::vector<double> bounds;
+  for (int i = 1; i <= n; ++i) {
+    bounds.push_back(static_cast<double>(i));
+  }
+  return bounds;
+}
+
+TEST(Percentile, ExactOnBucketBoundaries) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("x", {}, UnitBounds(10));
+  for (int i = 1; i <= 10; ++i) {
+    h->Record(static_cast<double>(i));  // one sample per bucket
+  }
+  const RegistrySnapshot snap = registry.Snapshot();
+  const SeriesSnapshot* s = snap.Find("x");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(95), 9.5);
+  EXPECT_DOUBLE_EQ(s->Percentile(100), 10.0);
+  // Out-of-range p clamps to the ends rather than extrapolating.
+  EXPECT_DOUBLE_EQ(s->Percentile(-5), s->Percentile(0));
+  EXPECT_DOUBLE_EQ(s->Percentile(150), s->Percentile(100));
+}
+
+TEST(Percentile, EmptySeriesIsZero) {
+  Registry registry;
+  registry.GetHistogram("x", {}, UnitBounds(4));
+  const RegistrySnapshot snap = registry.Snapshot();
+  const SeriesSnapshot* s = snap.Find("x");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(99), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsThatSample) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("x", {}, UnitBounds(10));
+  h->Record(7.0);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const SeriesSnapshot* s = snap.Find("x");
+  ASSERT_NE(s, nullptr);
+  // The min/max clamp pins every percentile of a one-sample series.
+  for (const double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s->Percentile(p), 7.0) << "p" << p;
+  }
+}
+
+TEST(Percentile, OverflowBucketInterpolatesTowardMax) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("x", {}, {1.0, 2.0});
+  h->Record(0.5);
+  h->Record(50.0);  // overflow: upper edge is the recorded max
+  const RegistrySnapshot snap = registry.Snapshot();
+  const SeriesSnapshot* s = snap.Find("x");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s->Percentile(0), 0.5);
+}
+
+TEST(Percentile, AgreesWithRetainedSamples) {
+  // The binned estimate must track the exact retained-sample percentile to
+  // within one bucket width on a shared sample set.
+  Registry registry;
+  Histogram* h = registry.GetHistogram("x", {}, UnitBounds(100));
+  crstats::Samples samples;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i) + 0.5;
+    h->Record(v);
+    samples.Add(v);
+  }
+  const RegistrySnapshot snap = registry.Snapshot();
+  const SeriesSnapshot* s = snap.Find("x");
+  ASSERT_NE(s, nullptr);
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    EXPECT_NEAR(s->Percentile(p), samples.Percentile(p), 1.0) << "p" << p;
+  }
+}
+
+TEST(Percentile, AppearsInMetricsJson) {
+  Registry registry;
+  registry.GetHistogram("latency_ms", {}, {1.0, 10.0})->Record(5.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* key : {"\"p50\"", "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Snapshot, HubSynthesizesTraceDropCounter) {
+  const std::string json = RunOnceAndSnapshot();
+  // The tracer's drop count rides along as a counter family, and every
+  // histogram family carries its interpolated percentiles.
+  EXPECT_NE(json.find("\"obs.trace_dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: bounded ring, dump window, trigger determinism.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsNewestEvents) {
+  crsim::Engine engine;
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder recorder(engine, nullptr, options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventKind::kStreamShed, /*a=*/i);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // Oldest-first, holding sessions 6..9.
+  int expected = 6;
+  for (const FlightEvent& event : recorder.events()) {
+    EXPECT_EQ(event.a, expected++);
+  }
+}
+
+TEST(FlightRecorder, DumpWindowFiltersOldEvents) {
+  crsim::Engine engine;
+  FlightRecorder::Options options;
+  options.window = Seconds(10);
+  FlightRecorder recorder(engine, nullptr, options);
+  engine.ScheduleAt(Seconds(1), [&] {
+    recorder.Record(FlightEventKind::kLeaseReap, 1, 0, 0, "early");
+  });
+  engine.ScheduleAt(Seconds(15), [&] {
+    recorder.Record(FlightEventKind::kLeaseReap, 2, 0, 0, "late");
+  });
+  engine.RunUntil(Seconds(20));
+  const std::string dump = recorder.RenderDump("window_test");
+  EXPECT_TRUE(JsonChecker(dump).Valid()) << dump;
+  // Both events stay in the ring; only the in-window one is serialized.
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_NE(dump.find("\"late\""), std::string::npos);
+  EXPECT_EQ(dump.find("\"early\""), std::string::npos);
+  EXPECT_NE(dump.find("\"events_recorded\": 2"), std::string::npos);
+}
+
+TEST(FlightRecorder, AutoTriggerFreezesDumpOnMaskedKind) {
+  crsim::Engine engine;
+  FlightRecorder::Options options;
+  options.triggers = {FlightEventKind::kDeadlineMiss};
+  FlightRecorder recorder(engine, nullptr, options);
+  recorder.Record(FlightEventKind::kAdmissionAccept);  // unmasked: no dump
+  EXPECT_EQ(recorder.triggers_fired(), 0u);
+  EXPECT_TRUE(recorder.dumps().empty());
+  recorder.Record(FlightEventKind::kDeadlineMiss, /*a=*/7);
+  EXPECT_EQ(recorder.triggers_fired(), 1u);
+  ASSERT_EQ(recorder.dumps().size(), 1u);
+  const std::string& dump = recorder.dumps().front();
+  EXPECT_TRUE(JsonChecker(dump).Valid()) << dump;
+  EXPECT_NE(dump.find("\"reason\": \"auto:deadline_miss\""), std::string::npos);
+  // The triggering event itself is inside its own dump.
+  EXPECT_NE(dump.find("\"deadline_miss\""), std::string::npos);
+}
+
+TEST(FlightRecorder, RetainedDumpsAreBounded) {
+  crsim::Engine engine;
+  FlightRecorder::Options options;
+  options.max_dumps = 2;
+  FlightRecorder recorder(engine, nullptr, options);
+  for (int i = 0; i < 5; ++i) {
+    recorder.Trigger("r" + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.triggers_fired(), 5u);
+  ASSERT_EQ(recorder.dumps().size(), 2u);  // newest two survive
+  EXPECT_NE(recorder.dumps().front().find("\"r3\""), std::string::npos);
+  EXPECT_NE(recorder.dumps().back().find("\"r4\""), std::string::npos);
+}
+
+std::string RecordAndDumpOnce() {
+  crsim::Engine engine;
+  FlightRecorder recorder(engine, nullptr, FlightRecorder::Options{});
+  engine.ScheduleAt(Seconds(1), [&] {
+    recorder.Record(FlightEventKind::kMemberChange, 1, 0, 0, "failed");
+    recorder.Record(FlightEventKind::kStreamShed, 9);
+  });
+  engine.RunUntil(Seconds(2));
+  return recorder.RenderDump("repro");
+}
+
+TEST(FlightRecorder, DumpIsDeterministicAcrossIdenticalRuns) {
+  const std::string first = RecordAndDumpOnce();
+  const std::string second = RecordAndDumpOnce();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FlightRecorder, HubDumpCarriesEventsLedgerAndMetrics) {
+  cras::TestbedOptions options;
+  cras::Testbed bed(options);
+  bed.StartServers();
+  auto movie = crmedia::WriteMpeg1File(bed.fs, "movie", Seconds(2));
+  CRAS_CHECK(movie.ok());
+  crsim::Task client = bed.kernel.Spawn(
+      "client", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        cras::OpenParams params;
+        params.inode = movie->inode;
+        params.index = movie->index;
+        auto opened = co_await bed.cras_server.Open(std::move(params));
+        CRAS_CHECK(opened.ok());
+        (void)co_await bed.cras_server.StartStream(
+            *opened, bed.cras_server.SuggestedInitialDelay());
+      });
+  bed.engine().RunFor(Seconds(4));
+  const std::string dump = bed.hub.FlightDumpJson("test");
+  EXPECT_TRUE(JsonChecker(dump).Valid()) << dump;
+  // The admission verdict was recorded, and the dump stitches all three
+  // sections together: event window, budget-ledger tail, metrics snapshot.
+  EXPECT_NE(dump.find("\"admission_accept\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ledger_tail\""), std::string::npos);
+  EXPECT_NE(dump.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ledger.intervals\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Budget ledger: prediction vs actuals, overrun detection, late attribution.
+// ---------------------------------------------------------------------------
+
+BudgetTerms MakeTerms(double command, double seek, double rotation, double transfer,
+                      double other = 0) {
+  BudgetTerms terms;
+  terms.command_ms = command;
+  terms.seek_ms = seek;
+  terms.rotation_ms = rotation;
+  terms.transfer_ms = transfer;
+  terms.other_ms = other;
+  return terms;
+}
+
+TEST(BudgetLedger, OverrunWhenActualTotalExceedsPrediction) {
+  Registry registry;
+  BudgetLedger ledger(&registry);
+  ledger.BeginInterval(0, Milliseconds(0));
+  ledger.SetPrediction(0, /*disk=*/0, MakeTerms(1, 4, 3, 2), /*requests=*/2);
+  ledger.SetPrediction(0, /*disk=*/1, MakeTerms(1, 4, 3, 2), /*requests=*/2);
+  // Disk 0 stays inside its 10 ms budget; disk 1 blows through it.
+  ledger.AddActual(0, 0, MakeTerms(0.5, 2, 1.5, 2));
+  ledger.AddActual(0, 1, MakeTerms(1, 5, 4, 2));
+  ledger.CloseInterval(0);
+  EXPECT_EQ(ledger.intervals_closed(), 1);
+  EXPECT_EQ(ledger.overruns(), 1);
+  EXPECT_EQ(ledger.late_attributions(), 0);
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Find("ledger.intervals")->counter, 1);
+  EXPECT_EQ(snap.Find("ledger.overruns")->counter, 1);
+}
+
+TEST(BudgetLedger, EmitsPerTermUtilizationHistograms) {
+  Registry registry;
+  BudgetLedger ledger(&registry);
+  ledger.BeginInterval(3, Milliseconds(1500));
+  ledger.SetPrediction(3, /*disk=*/0, MakeTerms(2, 10, 4, 8), /*requests=*/1);
+  ledger.AddActual(3, 0, MakeTerms(1, 5, 1, 8));
+  ledger.CloseInterval(3);
+  const RegistrySnapshot snap = registry.Snapshot();
+  const Labels seek_labels{{"disk", "disk0"}, {"term", "seek"}};
+  const SeriesSnapshot* seek = snap.Find("ledger.util_pct", seek_labels);
+  ASSERT_NE(seek, nullptr);
+  EXPECT_EQ(seek->count, 1);
+  EXPECT_DOUBLE_EQ(seek->mean, 50.0);  // 5 of 10 ms used
+  const SeriesSnapshot* transfer =
+      snap.Find("ledger.util_pct", {{"disk", "disk0"}, {"term", "transfer"}});
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_DOUBLE_EQ(transfer->mean, 100.0);
+  // A term with no predicted budget (other here) emits nothing.
+  EXPECT_EQ(snap.Find("ledger.util_pct", {{"disk", "disk0"}, {"term", "other"}}), nullptr);
+}
+
+TEST(BudgetLedger, LateAttributionIsCountedNotApplied) {
+  Registry registry;
+  BudgetLedger ledger(&registry);
+  ledger.BeginInterval(0, Milliseconds(0));
+  ledger.SetPrediction(0, 0, MakeTerms(1, 1, 1, 1), 1);
+  ledger.CloseInterval(0);
+  ledger.AddActual(0, 0, MakeTerms(9, 9, 9, 9));  // after close: refused
+  ledger.AddActual(42, 0, MakeTerms(1, 1, 1, 1));  // unknown slot: refused
+  EXPECT_EQ(ledger.late_attributions(), 2);
+  EXPECT_EQ(ledger.overruns(), 0);  // the refused actuals changed nothing
+  EXPECT_EQ(registry.Snapshot().Find("ledger.late_attributions")->counter, 2);
+  // Closing again is idempotent.
+  ledger.CloseInterval(0);
+  EXPECT_EQ(ledger.intervals_closed(), 1);
+}
+
+TEST(BudgetLedger, EvictingUnclosedRowCountsAsLate) {
+  Registry registry;
+  BudgetLedger::Options options;
+  options.max_intervals = 2;
+  BudgetLedger ledger(&registry, options);
+  ledger.BeginInterval(0, Milliseconds(0));
+  ledger.BeginInterval(1, Milliseconds(500));
+  ledger.BeginInterval(2, Milliseconds(1000));  // evicts slot 0, never closed
+  EXPECT_EQ(ledger.rows().size(), 2u);
+  EXPECT_EQ(ledger.late_attributions(), 1);
+  EXPECT_EQ(ledger.rows().front().slot, 1);
+}
+
+TEST(BudgetLedger, JsonTailIsWellFormed) {
+  Registry registry;
+  BudgetLedger ledger(&registry);
+  for (int slot = 0; slot < 4; ++slot) {
+    ledger.BeginInterval(slot, Milliseconds(500) * slot);
+    ledger.SetPrediction(slot, 0, MakeTerms(1, 4, 3, 2, 0.5), 2);
+    ledger.AddActual(slot, 0, MakeTerms(0.5, 2, 1, 2));
+    ledger.CloseInterval(slot);
+  }
+  std::ostringstream out;
+  ledger.WriteJsonTail(out, /*max_rows=*/2);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Only the newest two rows appear.
+  EXPECT_EQ(json.find("\"slot\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"slot\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"slot\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"overrun\": false"), std::string::npos);
 }
 
 }  // namespace
