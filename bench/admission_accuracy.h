@@ -13,6 +13,49 @@
 
 namespace crbench {
 
+// Creates N MPEG1 movie files ("movie0", ...) on a bare file system — the
+// volume-rig counterpart of MakeMpeg1Files, which wants a full Testbed.
+inline std::vector<crmedia::MediaFile> MakeMovieFiles(crufs::Ufs& fs, int count,
+                                                      crbase::Duration length) {
+  std::vector<crmedia::MediaFile> files;
+  files.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto file = crmedia::WriteMpeg1File(fs, "movie" + std::to_string(i), length);
+    CRAS_CHECK(file.ok()) << file.status().ToString();
+    files.push_back(std::move(*file));
+  }
+  return files;
+}
+
+// Opens one-of-each MPEG1 streams on a fresh rig until the admission test
+// rejects one; returns the admitted count. `candidates` must exceed the
+// rig's capacity (the sweep CHECKs that a rejection was actually seen).
+inline int CountAdmittedStreams(const cras::VolumeTestbedOptions& rig_options, int candidates) {
+  cras::VolumeTestbed bed(rig_options);
+  bed.StartServers();
+  const std::vector<crmedia::MediaFile> files =
+      MakeMovieFiles(bed.fs, candidates, crbase::Seconds(4));
+  int accepted = 0;
+  bool rejected = false;
+  crsim::Task opener = bed.kernel.Spawn(
+      "opener", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        for (const auto& file : files) {
+          cras::OpenParams params;
+          params.inode = file.inode;
+          params.index = file.index;
+          auto opened = co_await bed.cras_server.Open(std::move(params));
+          if (!opened.ok()) {
+            rejected = true;
+            co_return;
+          }
+          ++accepted;
+        }
+      });
+  bed.engine().RunFor(crbase::Seconds(4));
+  CRAS_CHECK(rejected) << "raise `candidates`: all " << candidates << " streams were admitted";
+  return accepted;
+}
+
 struct AccuracyResult {
   double avg_ratio_pct = 0;
   double max_ratio_pct = 0;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/admission_accuracy.h"
 #include "bench/bench_util.h"
 #include "src/obs/ledger.h"
 
@@ -35,43 +36,6 @@ cras::VolumeTestbedOptions RigOptions() {
   // Keep the disks, not the wired-buffer budget, the binding constraint.
   options.cras.memory_budget_bytes = 64 * crbase::kMiB;
   return options;
-}
-
-std::vector<crmedia::MediaFile> MakeFiles(crufs::Ufs& fs, int count, crbase::Duration length) {
-  std::vector<crmedia::MediaFile> files;
-  files.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    auto file = crmedia::WriteMpeg1File(fs, "movie" + std::to_string(i), length);
-    CRAS_CHECK(file.ok()) << file.status().ToString();
-    files.push_back(std::move(*file));
-  }
-  return files;
-}
-
-// Opens streams until the admission test rejects one; returns the count.
-int CountAdmitted(int candidates) {
-  cras::VolumeTestbed bed(RigOptions());
-  bed.StartServers();
-  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, candidates, crbase::Seconds(4));
-  int accepted = 0;
-  bool rejected = false;
-  crsim::Task opener = bed.kernel.Spawn(
-      "opener", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
-        for (const auto& file : files) {
-          cras::OpenParams params;
-          params.inode = file.inode;
-          params.index = file.index;
-          auto opened = co_await bed.cras_server.Open(std::move(params));
-          if (!opened.ok()) {
-            rejected = true;
-            co_return;
-          }
-          ++accepted;
-        }
-      });
-  bed.engine().RunFor(crbase::Seconds(4));
-  CRAS_CHECK(rejected) << "raise `candidates`: all " << candidates << " streams were admitted";
-  return accepted;
 }
 
 struct TermUtil {
@@ -130,7 +94,8 @@ void MeasureAudit(int streams, AuditPoint* point, const std::string& dump_path) 
   rig_options.obs.flight.window = crbase::Seconds(30);
   cras::VolumeTestbed bed(rig_options);
   bed.StartServers();
-  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
+  const std::vector<crmedia::MediaFile> files =
+      crbench::MakeMovieFiles(bed.fs, streams, crbase::Seconds(10));
   const crbase::Duration play_length = crbase::Seconds(6);
   std::vector<std::unique_ptr<cras::PlayerStats>> stats;
   std::vector<crsim::Task> players;
@@ -243,7 +208,7 @@ int main(int argc, char** argv) {
   crstats::PrintBanner("Admission audit: predicted vs measured per-term disk budgets");
   std::printf("%d-disk striped rig, T = 0.5 s, per-disk admission, 64 MiB buffer budget\n",
               kDisks);
-  const int admitted = CountAdmitted(32 * kDisks);
+  const int admitted = crbench::CountAdmittedStreams(RigOptions(), 32 * kDisks);
   std::printf("admitted capacity: %d MPEG1 streams\n\n", admitted);
 
   crstats::Table table({"load_pct", "streams", "intervals", "overruns", "misses",

@@ -8,6 +8,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/logging.h"
+#include "src/base/random.h"
 #include "src/core/player.h"
 #include "src/core/testbed.h"
 #include "src/media/load.h"

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/admission_accuracy.h"
 #include "bench/bench_util.h"
 #include "src/fault/fault.h"
 #include "src/volume/striped_volume.h"
@@ -55,41 +56,9 @@ cras::VolumeTestbedOptions RigOptions(int disks, bool parity = false) {
   return options;
 }
 
-std::vector<crmedia::MediaFile> MakeFiles(crufs::Ufs& fs, int count, crbase::Duration length) {
-  std::vector<crmedia::MediaFile> files;
-  files.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    auto file = crmedia::WriteMpeg1File(fs, "movie" + std::to_string(i), length);
-    CRAS_CHECK(file.ok()) << file.status().ToString();
-    files.push_back(std::move(*file));
-  }
-  return files;
-}
-
 // Opens streams until the admission test rejects one; returns the count.
 int CountAdmitted(int disks, int candidates, bool parity = false) {
-  cras::VolumeTestbed bed(RigOptions(disks, parity));
-  bed.StartServers();
-  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, candidates, crbase::Seconds(4));
-  int accepted = 0;
-  bool rejected = false;
-  crsim::Task opener = bed.kernel.Spawn(
-      "opener", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
-        for (const auto& file : files) {
-          cras::OpenParams params;
-          params.inode = file.inode;
-          params.index = file.index;
-          auto opened = co_await bed.cras_server.Open(std::move(params));
-          if (!opened.ok()) {
-            rejected = true;
-            co_return;
-          }
-          ++accepted;
-        }
-      });
-  bed.engine().RunFor(crbase::Seconds(4));
-  CRAS_CHECK(rejected) << "raise `candidates`: all " << candidates << " streams were admitted";
-  return accepted;
+  return crbench::CountAdmittedStreams(RigOptions(disks, parity), candidates);
 }
 
 // When non-null, the replay run records a trace (written to trace_path
@@ -109,7 +78,8 @@ void MeasureDelivery(int disks, int streams, ScalePoint* point, ObsCapture* obs 
   }
   cras::VolumeTestbed bed(rig_options);
   bed.StartServers();
-  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
+  const std::vector<crmedia::MediaFile> files =
+      crbench::MakeMovieFiles(bed.fs, streams, crbase::Seconds(10));
   const crbase::Duration play_length = crbase::Seconds(6);
   std::vector<std::unique_ptr<cras::PlayerStats>> stats;
   std::vector<crsim::Task> players;
@@ -213,7 +183,8 @@ void MeasureDegraded(int disks, const crfault::FaultEvent& fail, DegradedPoint* 
   cras::VolumeTestbed bed(rig_options);
   bed.StartServers();
   const int streams = point->healthy_admitted;
-  const std::vector<crmedia::MediaFile> files = MakeFiles(bed.fs, streams, crbase::Seconds(10));
+  const std::vector<crmedia::MediaFile> files =
+      crbench::MakeMovieFiles(bed.fs, streams, crbase::Seconds(10));
   point->degraded_capacity =
       DegradedCapacity(disks, rig_options, bed.volume, files.front(), fail.disk);
 

@@ -6,8 +6,11 @@
 #ifndef SRC_BASE_RANDOM_H_
 #define SRC_BASE_RANDOM_H_
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace crbase {
 
@@ -54,6 +57,39 @@ class Rng {
 
  private:
   std::uint64_t state_;
+};
+
+// Zipf-distributed rank sampler: P(rank k) proportional to 1/(k+1)^alpha
+// over ranks {0, ..., n-1}, rank 0 the most popular. alpha = 0 degenerates
+// to uniform; alpha = 1 is the classic video-popularity fit. Deterministic
+// for a given seed (inverse-CDF lookup over a precomputed table), so
+// benches sweeping alpha reproduce exactly run to run.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double alpha, std::uint64_t seed)
+      : rng_(seed), cdf_(n) {
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+      cdf_[k] = total;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      cdf_[k] /= total;
+    }
+  }
+
+  std::size_t Next() {
+    const double u = rng_.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
 };
 
 }  // namespace crbase

@@ -42,6 +42,12 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::
   volume_->SetMemberStateListener([this](int disk, crvol::MemberState state) {
     fault_port_.Send(MemberChange{disk, state});
   });
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<crcache::StreamCache>(options_.cache);
+    // The cache's pools are wired server memory like everything else.
+    kernel_->WireMemory("cras-cache",
+                        options_.cache.interval_pool_bytes + options_.cache.prefix_pool_bytes);
+  }
   AttachObs(options_.obs);
 }
 
@@ -67,6 +73,11 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& 
   volume_->SetMemberStateListener([this](int disk, crvol::MemberState state) {
     fault_port_.Send(MemberChange{disk, state});
   });
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<crcache::StreamCache>(options_.cache);
+    kernel_->WireMemory("cras-cache",
+                        options_.cache.interval_pool_bytes + options_.cache.prefix_pool_bytes);
+  }
   AttachObs(options_.obs);
 }
 
@@ -75,10 +86,13 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
     obs_.reset();
     return;
   }
-  // Instrument the layers below: member disks/drivers and the admission
-  // model record through the same hub.
+  // Instrument the layers below: member disks/drivers, the admission model,
+  // and the stream cache record through the same hub.
   volume_->AttachObs(hub, "disk");
   volume_admission_.AttachObs(hub);
+  if (cache_ != nullptr) {
+    cache_->AttachObs(hub);
+  }
   auto obs = std::make_unique<ObsState>();
   obs->hub = hub;
   crobs::Tracer& trace = hub->trace();
@@ -102,6 +116,7 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   obs->streams_shed = metrics.GetCounter("cras.streams_shed");
   obs->sessions_reaped = metrics.GetCounter("cras.sessions_reaped");
   obs->sessions_resumed = metrics.GetCounter("cras.sessions_resumed");
+  obs->bytes_from_cache = metrics.GetCounter("cras.bytes_from_cache");
   obs->streams_kept = metrics.GetGauge("cras.streams_kept");
   obs->lease_age_ms = metrics.GetHistogram("cras.lease_age_ms", {}, crobs::LatencyBucketsMs());
   obs->deadline_slack_ms =
@@ -186,6 +201,12 @@ crsim::Task CrasServer::RequestManagerThread(crrt::ThreadContext& ctx) {
       case ControlMsg::kClose: {
         crbase::Status st = HandleClose(msg.id);
         result = st.ok() ? crbase::Result<SessionId>(msg.id) : crbase::Result<SessionId>(st);
+        if (cache_fallback_pending_) {
+          // The close orphaned a cached follower: settle it now — re-admit
+          // on the bandwidth the close just freed (plus the fallback
+          // reserve), or shed.
+          ShedUntilAdmissible();
+        }
         break;
       }
       case ControlMsg::kStart: {
@@ -247,9 +268,11 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     record.index = tick.index;
     record.scheduler_lateness = tick.lateness;
     // The binding member disk's estimate; on a one-disk volume exactly the
-    // paper's single-disk figure.
+    // paper's single-disk figure. With the cache on, cache-served streams
+    // are charged the fallback reserve instead of per-stream disk time.
     const crvol::VolumeAdmissionModel::Estimate estimate =
-        volume_admission_.Evaluate(CurrentDemands());
+        cache_ != nullptr ? volume_admission_.EvaluateCached(CurrentCachedDemands())
+                          : volume_admission_.Evaluate(CurrentDemands());
     record.estimated_io = estimate.WorstIoTime();
     interval_records_.push_back(record);
 
@@ -450,12 +473,29 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
       params.rate_factor;
   demand.chunk_bytes = params.index.max_chunk_bytes();
 
+  // Plan cache service first: a stream trailing a predecessor inside a
+  // pinned prefix is admitted at memory cost (never dearer than disk cost,
+  // so no second admission attempt is needed on rejection).
+  crcache::OpenDecision cache_plan;
+  if (cache_ != nullptr && params.kind == SessionKind::kRead) {
+    cache_->NoteOpen(params.inode, params.index, kernel_->Now());
+    cache_plan = cache_->PlanOpen(params.inode, 0);
+  }
+
   // The admission test (§2.3), run per member disk: every disk's interval
   // deadline and the memory budget must hold.
-  std::vector<StreamDemand> demands = CurrentDemands();
-  demands.push_back(demand);
-  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
-    return reject(crbase::ResourceExhaustedError("admission test failed"));
+  if (cache_ != nullptr) {
+    std::vector<crvol::CachedStreamDemand> demands = CurrentCachedDemands();
+    demands.push_back({demand, cache_plan.serve == crcache::ServeClass::kCached});
+    if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
+      return reject(crbase::ResourceExhaustedError("admission test failed"));
+    }
+  } else {
+    std::vector<StreamDemand> demands = CurrentDemands();
+    demands.push_back(demand);
+    if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
+      return reject(crbase::ResourceExhaustedError("admission test failed"));
+    }
   }
 
   Session session;
@@ -465,6 +505,7 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   session.index = std::move(params.index);
   session.demand = demand;
   session.rate_factor = params.rate_factor;
+  session.cache_served = cache_plan.serve == crcache::ServeClass::kCached;
   const std::int64_t buffer_bytes = volume_admission_.BufferBytes(demand);
   session.buffer =
       std::make_unique<TimeDrivenBuffer>(buffer_bytes, options_.jitter_allowance);
@@ -480,7 +521,14 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
     session.buffer->AttachObs(obs_->hub, "s" + std::to_string(session.id));
   }
   const SessionId id = session.id;
+  const crufs::InodeNumber title = session.inode;
+  const SessionKind kind = session.kind;
   sessions_.emplace(id, std::move(session));
+  if (cache_ != nullptr && kind == SessionKind::kRead) {
+    // Every read stream registers — a disk-served stream is the chain head
+    // future followers attach to.
+    cache_->Register(id, title, 0, cache_plan, kernel_->Now());
+  }
   return id;
 }
 
@@ -492,6 +540,17 @@ crbase::Status CrasServer::HandleClose(SessionId id) {
   const std::int64_t buffer_bytes = it->second.buffer->capacity_bytes();
   buffer_bytes_reserved_ -= buffer_bytes;
   kernel_->UnwireMemory("cras-buffer", buffer_bytes);
+  if (cache_ != nullptr) {
+    // Orphaned followers fall back to disk service. Settling them (re-admit
+    // or shed) is the caller's job — HandleClose runs inside shed loops and
+    // must not recurse.
+    for (const crcache::StreamId orphan : cache_->Unregister(id, kernel_->Now())) {
+      if (Session* o = FindSession(orphan); o != nullptr) {
+        o->cache_served = false;
+        cache_fallback_pending_ = true;
+      }
+    }
+  }
   // In-flight batches for this session are dropped when they complete.
   for (auto& [batch_id, batch] : inflight_) {
     if (batch.session == id) {
@@ -541,6 +600,16 @@ crbase::Status CrasServer::HandleSeek(SessionId id, crbase::Time logical) {
   session->buffer->Clear();
   session->next_chunk = chunk;
   session->prefetch_pos = session->index.at(static_cast<std::size_t>(chunk)).timestamp;
+  if (cache_ != nullptr) {
+    // A seek invalidates any pair this stream is part of (its play point
+    // jumped); simplest sound policy: drop to disk service at the new
+    // position. The seeker stays admitted — its disk share was either
+    // already charged or covered by the fallback reserve — but orphans may
+    // overload the array, so re-settle.
+    if (DetachFromCache(id)) {
+      ShedUntilAdmissible();
+    }
+  }
   return crbase::OkStatus();
 }
 
@@ -555,17 +624,40 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
   if (session->kind != SessionKind::kRead) {
     return crbase::FailedPreconditionError("rate change on a write session");
   }
+  if (cache_ != nullptr) {
+    // A rate change breaks pair pacing (predecessor and follower no longer
+    // advance in lockstep); drop this stream — and any follower — to disk
+    // service before re-admitting at the new rate.
+    if (DetachFromCache(id)) {
+      ShedUntilAdmissible();
+      session = FindSession(id);
+      if (session == nullptr) {
+        return crbase::ResourceExhaustedError("session shed settling its cache fallback");
+      }
+    }
+  }
   // Re-run admission with this session's demand scaled to the new factor.
   StreamDemand new_demand = session->demand;
   new_demand.rate_bytes_per_sec =
       new_demand.rate_bytes_per_sec / session->rate_factor * rate_factor;
-  std::vector<StreamDemand> demands;
-  demands.reserve(sessions_.size());
-  for (const auto& [other_id, other] : sessions_) {
-    demands.push_back(other_id == id ? new_demand : other.demand);
-  }
-  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
-    return crbase::ResourceExhaustedError("admission test failed at the new rate");
+  if (cache_ != nullptr) {
+    std::vector<crvol::CachedStreamDemand> demands;
+    demands.reserve(sessions_.size());
+    for (const auto& [other_id, other] : sessions_) {
+      demands.push_back({other_id == id ? new_demand : other.demand, other.cache_served});
+    }
+    if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
+      return crbase::ResourceExhaustedError("admission test failed at the new rate");
+    }
+  } else {
+    std::vector<StreamDemand> demands;
+    demands.reserve(sessions_.size());
+    for (const auto& [other_id, other] : sessions_) {
+      demands.push_back(other_id == id ? new_demand : other.demand);
+    }
+    if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
+      return crbase::ResourceExhaustedError("admission test failed at the new rate");
+    }
   }
   // Re-reserve the buffer at the new B_i. Resident data stays valid (the
   // buffer object is preserved; only the accounting and cap change through
@@ -611,13 +703,36 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
   }
   ReapedSession& old = it->second;
 
+  // Resume position, needed up front: the cache plans service at the chunk
+  // the stream will actually resume from.
+  std::int64_t resume_chunk = 0;
+  if (old.kind == SessionKind::kRead) {
+    resume_chunk = old.index.FindByTime(old.logical_pos);
+    if (resume_chunk < 0) {
+      resume_chunk = 0;
+    }
+  }
+  crcache::OpenDecision cache_plan;
+  if (cache_ != nullptr && old.kind == SessionKind::kRead) {
+    cache_->NoteOpen(old.inode, old.index, kernel_->Now());
+    cache_plan = cache_->PlanOpen(old.inode, resume_chunk);
+  }
+
   // Re-run the admission test: the array may have degraded (or filled up)
   // since the session was reaped, and a resumed stream gets no special
   // claim over the ones admitted meanwhile.
-  std::vector<StreamDemand> demands = CurrentDemands();
-  demands.push_back(old.demand);
-  if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
-    return crbase::ResourceExhaustedError("admission test failed on resume");
+  if (cache_ != nullptr) {
+    std::vector<crvol::CachedStreamDemand> demands = CurrentCachedDemands();
+    demands.push_back({old.demand, cache_plan.serve == crcache::ServeClass::kCached});
+    if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
+      return crbase::ResourceExhaustedError("admission test failed on resume");
+    }
+  } else {
+    std::vector<StreamDemand> demands = CurrentDemands();
+    demands.push_back(old.demand);
+    if (!volume_admission_.Admissible(demands, options_.memory_budget_bytes)) {
+      return crbase::ResourceExhaustedError("admission test failed on resume");
+    }
   }
 
   Session session;
@@ -633,12 +748,10 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
   session.clock->SetRate(session.rate_factor);
   session.clock->SeekTo(old.logical_pos);
   if (old.kind == SessionKind::kRead) {
-    std::int64_t chunk = session.index.FindByTime(old.logical_pos);
-    if (chunk < 0) {
-      chunk = 0;
-    }
-    session.next_chunk = chunk;
-    session.prefetch_pos = session.index.at(static_cast<std::size_t>(chunk)).timestamp;
+    session.next_chunk = resume_chunk;
+    session.prefetch_pos =
+        session.index.at(static_cast<std::size_t>(resume_chunk)).timestamp;
+    session.cache_served = cache_plan.serve == crcache::ServeClass::kCached;
   }
   if (old.started) {
     // Resume playing from where the reaper froze it, after the same
@@ -654,8 +767,13 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
     obs_->sessions_resumed->Add();
     session.buffer->AttachObs(obs_->hub, "s" + std::to_string(id));
   }
+  const SessionKind resumed_kind = old.kind;
+  const crufs::InodeNumber resumed_title = old.inode;
   reaped_.erase(it);
   sessions_.emplace(id, std::move(session));
+  if (cache_ != nullptr && resumed_kind == SessionKind::kRead) {
+    cache_->Register(id, resumed_title, resume_chunk, cache_plan, kernel_->Now());
+  }
   CRAS_LOG(kInfo) << "CRAS session " << id << " reconnected and resumed";
   return crbase::OkStatus();
 }
@@ -716,6 +834,11 @@ void CrasServer::ReapExpired() {
       obs_->hub->trace().Instant(obs_->track, obs_->n_reap, static_cast<double>(id));
     }
   }
+  if (cache_fallback_pending_) {
+    // A reaped predecessor orphaned a cached follower: re-admit it on the
+    // freed bandwidth, or shed.
+    ShedUntilAdmissible();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -753,39 +876,57 @@ void CrasServer::ApplyMemberChange(const MemberChange& change) {
 }
 
 void CrasServer::ShedUntilAdmissible() {
-  // Candidate shedding order: highest-rate session first, so the degraded
-  // array loses the fewest streams (ties broken toward younger sessions —
-  // the longest-served viewers are the last to go).
-  std::vector<Session*> by_rate;
-  by_rate.reserve(sessions_.size());
-  for (auto& [id, session] : sessions_) {
-    by_rate.push_back(&session);
-  }
-  std::sort(by_rate.begin(), by_rate.end(), [](const Session* a, const Session* b) {
-    if (a->demand.rate_bytes_per_sec != b->demand.rate_bytes_per_sec) {
-      return a->demand.rate_bytes_per_sec > b->demand.rate_bytes_per_sec;
+  // Sheds one victim per round, re-evaluating between rounds: with the
+  // cache on, closing a victim can change other streams' serving classes
+  // (an orphaned follower falls back to disk), so a precomputed victim list
+  // would test stale demand sets. Victim order within a round:
+  //   1. disk-charged streams feeding no cached follower — closing one
+  //      frees a full disk share and breaks nothing;
+  //   2. disk-charged chain heads — the follower falls back, so the net
+  //      relief is smaller and a fallback cascades;
+  //   3. cache-served streams — nearly free to serve, shed last.
+  // Within a class: highest-rate first (the degraded array loses the fewest
+  // streams), ties toward younger sessions. Cache off: every stream is
+  // class 1's complement — plain highest-rate-first, the classic order.
+  for (;;) {
+    if (sessions_.empty()) {
+      break;
     }
-    return a->id > b->id;
-  });
-
-  std::vector<SessionId> shed;
-  std::size_t next_victim = 0;
-  std::vector<StreamDemand> demands;
-  demands.reserve(by_rate.size());
-  for (const Session* s : by_rate) {
-    demands.push_back(s->demand);
-  }
-  // Dropping the front (highest-rate) element each round keeps `demands`
-  // equal to the kept set's demand vector.
-  while (!demands.empty() &&
-         !volume_admission_.Admissible(
-             std::vector<StreamDemand>(demands.begin() + static_cast<std::int64_t>(next_victim),
-                                       demands.end()),
-             options_.memory_budget_bytes)) {
-    shed.push_back(by_rate[next_victim]->id);
-    ++next_victim;
-  }
-  for (SessionId id : shed) {
+    const bool admissible =
+        cache_ != nullptr
+            ? volume_admission_.AdmissibleCached(CurrentCachedDemands(),
+                                                 options_.memory_budget_bytes)
+            : volume_admission_.Admissible(CurrentDemands(), options_.memory_budget_bytes);
+    if (admissible) {
+      break;
+    }
+    Session* victim = nullptr;
+    int victim_class = 0;
+    for (auto& [id, session] : sessions_) {
+      int cls = 0;
+      if (cache_ != nullptr) {
+        if (session.cache_served) {
+          cls = 2;
+        } else if (cache_->HasFollower(id)) {
+          cls = 1;
+        }
+      }
+      bool better = victim == nullptr;
+      if (!better && cls != victim_class) {
+        better = cls < victim_class;
+      } else if (!better) {
+        if (session.demand.rate_bytes_per_sec != victim->demand.rate_bytes_per_sec) {
+          better = session.demand.rate_bytes_per_sec > victim->demand.rate_bytes_per_sec;
+        } else {
+          better = session.id > victim->id;
+        }
+      }
+      if (better) {
+        victim = &session;
+        victim_class = cls;
+      }
+    }
+    const SessionId id = victim->id;
     shed_ids_.insert(id);
     ++stats_.streams_shed;
     CRAS_LOG(kWarning) << "CRAS shedding session " << id << " (degraded array)";
@@ -796,6 +937,7 @@ void CrasServer::ShedUntilAdmissible() {
     }
     CRAS_CHECK(HandleClose(id).ok());
   }
+  cache_fallback_pending_ = false;
   if (obs_ != nullptr) {
     obs_->streams_kept->Set(static_cast<double>(sessions_.size()));
   }
@@ -935,12 +1077,49 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
           break;
         }
         const crbase::Time window_end = session.prefetch_pos + advance;
-        std::int64_t last = session.next_chunk;
+        std::int64_t first = session.next_chunk;
+        std::int64_t last = first;
         while (last < count &&
                session.index.at(static_cast<std::size_t>(last)).timestamp < window_end) {
           ++last;
         }
-        plan_range(session, session.next_chunk, last, SessionKind::kRead);
+        if (cache_ != nullptr && first < last) {
+          // The leading run servable from the cache (pinned prefix or the
+          // predecessor's deposited blocks) becomes a zero-I/O batch,
+          // published at the next boundary exactly like a disk batch; only
+          // the remainder touches the disks.
+          const crcache::ServeResult run = cache_->ServableRun(id, first, last);
+          if (run.demoted) {
+            session.cache_served = false;
+            cache_fallback_pending_ = true;
+          }
+          if (run.chunks > 0) {
+            Batch batch;
+            batch.id = next_batch_id_++;
+            batch.session = id;
+            batch.first_chunk = first;
+            batch.last_chunk = first + run.chunks;
+            batch.kind = SessionKind::kRead;
+            batch.interval_slot = interval_slot;
+            batch.deadline = deadline;
+            for (std::int64_t c = first; c < first + run.chunks; ++c) {
+              batch.bytes += session.index.at(static_cast<std::size_t>(c)).size;
+            }
+            stats_.bytes_from_cache += batch.bytes;
+            if (obs_ != nullptr) {
+              obs_->bytes_from_cache->Add(batch.bytes);
+            }
+            inflight_.emplace(batch.id, batch);
+            completed_batches_.push_back(batch.id);
+            first += run.chunks;
+          }
+        }
+        plan_range(session, first, last, SessionKind::kRead);
+        if (cache_ != nullptr && last > session.next_chunk) {
+          // Deposit at issue time: these blocks are what a follower's next
+          // window reads from the interval pool.
+          cache_->NoteScheduled(id, last);
+        }
         session.next_chunk = last;
         session.prefetch_pos = window_end;
       }
@@ -962,6 +1141,26 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
         budget -= run_bytes;
       }
     }
+  }
+
+  if (cache_ != nullptr && cache_fallback_pending_) {
+    // A stream was demoted mid-planning (its window outran its feed). Its
+    // own tail rides the fallback reserve, but the set may no longer be
+    // admissible with it disk-charged: settle before submitting, and drop
+    // the work planned for any session the settling shed (its batches were
+    // orphaned by HandleClose).
+    ShedUntilAdmissible();
+    std::erase_if(planned, [this](const Planned& p) {
+      auto it = inflight_.find(p.batch_id);
+      if (it == inflight_.end()) {
+        return true;  // batch erased when an earlier row of it was dropped
+      }
+      if (it->second.session == kInvalidSession) {
+        inflight_.erase(it);
+        return true;
+      }
+      return false;
+    });
   }
 
   // The paper: "making all the read requests to disks in cylinder order to
@@ -1064,6 +1263,35 @@ std::vector<StreamDemand> CrasServer::CurrentDemands() const {
     demands.push_back(session.demand);
   }
   return demands;
+}
+
+std::vector<crvol::CachedStreamDemand> CrasServer::CurrentCachedDemands() const {
+  std::vector<crvol::CachedStreamDemand> demands;
+  demands.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    demands.push_back({session.demand, session.cache_served});
+  }
+  return demands;
+}
+
+bool CrasServer::DetachFromCache(SessionId id) {
+  Session* session = FindSession(id);
+  if (session == nullptr || session->kind != SessionKind::kRead) {
+    return false;
+  }
+  bool changed = session->cache_served;
+  for (const crcache::StreamId orphan : cache_->Unregister(id, kernel_->Now())) {
+    if (Session* o = FindSession(orphan); o != nullptr) {
+      o->cache_served = false;
+      changed = true;
+    }
+  }
+  session->cache_served = false;
+  // Re-register as a disk-served chain member at the current scheduling
+  // position, so future opens can still attach behind this stream.
+  cache_->Register(id, session->inode, session->next_chunk, crcache::OpenDecision{},
+                   kernel_->Now());
+  return changed;
 }
 
 }  // namespace cras

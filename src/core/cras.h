@@ -72,6 +72,7 @@
 
 #include "src/base/status.h"
 #include "src/base/time_units.h"
+#include "src/cache/stream_cache.h"
 #include "src/core/admission.h"
 #include "src/core/logical_clock.h"
 #include "src/core/time_driven_buffer.h"
@@ -148,6 +149,9 @@ struct ServerStats {
   std::int64_t lease_renewals = 0;
   std::int64_t sessions_reaped = 0;   // lease lapsed; closed by the reaper
   std::int64_t sessions_resumed = 0;  // reaped, then reconnected and resumed
+  // Bytes the scheduler served from the stream cache (prefix or interval
+  // pool) instead of issuing disk reads. Zero when the cache is disabled.
+  std::int64_t bytes_from_cache = 0;
 };
 
 class CrasServer {
@@ -178,6 +182,12 @@ class CrasServer {
     // "Making all the read requests to disks in cylinder order to minimize
     // the seek time" (§2.2). Off only for the A2 ablation.
     bool sort_requests_by_cylinder = true;
+    // Stream buffer cache (interval + prefix caching). Disabled by default;
+    // with cache.enabled the server plans each read open against the cache,
+    // admits cache-served streams at memory cost (AdmissibleCached), serves
+    // cached windows with zero disk time, and falls back to disk — re-running
+    // admission — whenever a predecessor dies or stalls.
+    crcache::CacheOptions cache;
     // Observability hub (nullable). When set, the server instruments the
     // whole stack: the volume's member disks and drivers, the admission
     // model, per-stream buffers, interval spans, per-batch prefetch spans,
@@ -280,6 +290,8 @@ class CrasServer {
   const AdmissionModel& admission() const { return admission_; }
   const crvol::VolumeAdmissionModel& volume_admission() const { return volume_admission_; }
   crvol::Volume& volume() { return *volume_; }
+  // The stream cache; null when Options::cache.enabled is false.
+  const crcache::StreamCache* cache() const { return cache_.get(); }
   const ServerStats& stats() const { return stats_; }
   // Whether the degradation controller shed session `id` (closed it to keep
   // the degraded array's guarantees for the remaining streams). Remembered
@@ -365,6 +377,10 @@ class CrasServer {
     std::unique_ptr<TimeDrivenBuffer> buffer;
     std::unique_ptr<LogicalClock> clock;
     bool started = false;
+    // Serving class: true while the stream's interval demand is fed from
+    // the cache and admission charges it memory only (mirrors the cache's
+    // own state; flipped on fallback).
+    bool cache_served = false;
     crbase::Time prefetch_pos = 0;   // logical time of the next window
     std::int64_t next_chunk = 0;     // first chunk not yet scheduled
     std::deque<std::int64_t> write_queue;  // produced, not yet written
@@ -441,6 +457,14 @@ class CrasServer {
   Session* FindSession(SessionId id);
   const Session* FindSession(SessionId id) const;
   std::vector<StreamDemand> CurrentDemands() const;
+  // The open sessions' demands tagged with their serving class, the input
+  // to AdmissibleCached/EvaluateCached.
+  std::vector<crvol::CachedStreamDemand> CurrentCachedDemands() const;
+  // Drops session `id`'s cache service (and its follower's pair, if any)
+  // and re-registers it as a plain disk-served chain member at its current
+  // scheduling position. Returns true if any stream's serving class changed
+  // (the caller then re-runs ShedUntilAdmissible).
+  bool DetachFromCache(SessionId id);
 
   // Degradation-controller operations.
   // Applies a member state change to the admission model (failed flag,
@@ -471,6 +495,7 @@ class CrasServer {
     crobs::Counter* streams_shed = nullptr;
     crobs::Counter* sessions_reaped = nullptr;
     crobs::Counter* sessions_resumed = nullptr;
+    crobs::Counter* bytes_from_cache = nullptr;
     crobs::Gauge* streams_kept = nullptr;
     // Age of the lease at each renewal — the observed heartbeat cadence.
     crobs::Histogram* lease_age_ms = nullptr;
@@ -493,6 +518,12 @@ class CrasServer {
   Options options_;
   AdmissionModel admission_;
   crvol::VolumeAdmissionModel volume_admission_;
+  // Null unless options_.cache.enabled.
+  std::unique_ptr<crcache::StreamCache> cache_;
+  // Set when a close/reap orphaned a cached follower; the next owner of the
+  // control flow re-runs ShedUntilAdmissible to settle the fallen-back
+  // stream (re-admit on the freed bandwidth, or shed).
+  bool cache_fallback_pending_ = false;
 
   crsim::Port<ControlMsg> control_port_;
   crsim::Port<IoDoneMsg> io_done_port_;

@@ -27,6 +27,12 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "nak_give_up";
     case FlightEventKind::kFaultInjected:
       return "fault_injected";
+    case FlightEventKind::kCachePairFormed:
+      return "cache_pair_formed";
+    case FlightEventKind::kCachePairBroken:
+      return "cache_pair_broken";
+    case FlightEventKind::kCacheFallback:
+      return "cache_fallback";
   }
   return "unknown";
 }

@@ -43,6 +43,9 @@ enum class FlightEventKind : std::uint8_t {
   kLeaseReap,         // a: session, value: lease age ms
   kNakGiveUp,         // a: sequence number, b: NAKs sent, detail: end
   kFaultInjected,     // a: disk (or 0 for a link), detail: fault kind
+  kCachePairFormed,   // a: follower session, b: predecessor, value: reserved bytes
+  kCachePairBroken,   // a: follower session, b: predecessor, detail: reason
+  kCacheFallback,     // a: session, b: chunks the cache could not serve
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

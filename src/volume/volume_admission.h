@@ -55,6 +55,17 @@ namespace crvol {
 
 using crbase::Duration;
 
+// A stream demand tagged with its serving class. A cache-served stream's
+// interval window is fed from the buffer cache (interval pairs / pinned
+// prefixes — crcache::StreamCache), so it is charged buffer memory only; the
+// disks are charged one shared *fallback reserve* — the largest cache-served
+// window — so a single predecessor death never issues I/O the admission test
+// did not cover.
+struct CachedStreamDemand {
+  cras::StreamDemand demand;
+  bool cache_served = false;
+};
+
 class VolumeAdmissionModel {
  public:
   // Homogeneous array: `disks` members with identical worst-case parameters.
@@ -119,6 +130,15 @@ class VolumeAdmissionModel {
   bool Admissible(const std::vector<cras::StreamDemand>& streams,
                   std::int64_t memory_budget_bytes) const;
 
+  // Cache-aware variants. Disk time is charged for the disk-served streams
+  // plus the fallback reserve (the largest cache-served window, so one
+  // fallen-back stream is always feasible); buffer memory is charged for
+  // every stream, cached or not. With no cache-served member these reduce
+  // to Evaluate()/Admissible() exactly.
+  Estimate EvaluateCached(const std::vector<CachedStreamDemand>& streams) const;
+  bool AdmissibleCached(const std::vector<CachedStreamDemand>& streams,
+                        std::int64_t memory_budget_bytes) const;
+
   // Registers decision counters keyed {outcome}, a worst-case interval-I/O
   // histogram, and accept/reject trace instants (value: worst I/O ms) on the
   // "admission" track. Every Admissible() call then records its verdict.
@@ -134,6 +154,11 @@ class VolumeAdmissionModel {
     crobs::Counter* rejected = nullptr;
     crobs::Histogram* worst_io_ms = nullptr;
   };
+
+  // The shared admission verdict (deadline + memory + failure checks, obs
+  // recording) over an already-computed estimate.
+  bool Verdict(const Estimate& estimate, std::size_t stream_count,
+               std::int64_t memory_budget_bytes) const;
 
   std::vector<cras::AdmissionModel> models_;
   std::vector<char> failed_;  // per member; char to avoid vector<bool>

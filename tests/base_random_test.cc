@@ -77,5 +77,66 @@ TEST(Rng, LogNormalMatchesRequestedMean) {
   EXPECT_NEAR(sum / n, 6250.0, 6250.0 * 0.02);
 }
 
+TEST(ZipfGenerator, DeterministicForSameSeed) {
+  ZipfGenerator a(100, 0.8, 7);
+  ZipfGenerator b(100, 0.8, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(ZipfGenerator, CoversAllRanksInBounds) {
+  ZipfGenerator zipf(8, 1.0, 3);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t k = zipf.Next();
+    ASSERT_LT(k, 8u);
+    ++seen[k];
+  }
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_GT(seen[static_cast<std::size_t>(k)], 0) << "rank " << k << " never drawn";
+  }
+}
+
+// The defining property: empirical rank frequencies follow a power law with
+// exponent -alpha. Least-squares slope of log(freq) vs log(rank+1) over the
+// well-populated head must recover alpha.
+TEST(ZipfGenerator, RankFrequencyExponentMatchesAlpha) {
+  for (const double alpha : {0.6, 1.0}) {
+    ZipfGenerator zipf(50, alpha, 42);
+    std::vector<std::int64_t> counts(50, 0);
+    const int draws = 400000;
+    for (int i = 0; i < draws; ++i) {
+      ++counts[zipf.Next()];
+    }
+    const int head = 20;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (int k = 0; k < head; ++k) {
+      const double x = std::log(static_cast<double>(k + 1));
+      const double y = std::log(static_cast<double>(counts[static_cast<std::size_t>(k)]) /
+                                draws);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double slope = (head * sxy - sx * sy) / (head * sxx - sx * sx);
+    EXPECT_NEAR(slope, -alpha, 0.05) << "alpha " << alpha;
+  }
+}
+
+TEST(ZipfGenerator, HeadMassMatchesHarmonicNormalization) {
+  // alpha = 1, n = 16: P(rank 0) = 1/H_16 with H_16 = sum 1/r ≈ 3.3807.
+  ZipfGenerator zipf(16, 1.0, 99);
+  std::int64_t head = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.Next() == 0) {
+      ++head;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(head) / draws, 1.0 / 3.3807, 0.01);
+}
+
 }  // namespace
 }  // namespace crbase
