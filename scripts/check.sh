@@ -6,7 +6,9 @@
 #   scripts/check.sh --sanitize       additionally build + test under ASan (+LSan)
 #                                     and UBSan, in build-asan/ and build-ubsan/
 #   scripts/check.sh --label <regex>  restrict ctest to matching labels, e.g.
-#                                     --label 'fault|net' for the robustness slice
+#                                     --label 'fault|net' for the robustness slice.
+#                                     Repeatable: --label fault --label net is
+#                                     composed into -L 'fault|net'.
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,7 +20,7 @@ while [[ $# -gt 0 ]]; do
     --sanitize) sanitize=1 ;;
     --label)
       [[ $# -ge 2 ]] || { echo "--label needs a regex argument" >&2; exit 2; }
-      label="$2"
+      label="${label:+$label|}$2"
       shift
       ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;

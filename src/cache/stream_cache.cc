@@ -376,6 +376,14 @@ bool StreamCache::prefix_pinned(TitleId title) const {
   return it != titles_.end() && it->second.pinned;
 }
 
+std::int64_t StreamCache::prefix_end_chunk(TitleId title) const {
+  auto it = titles_.find(title);
+  if (it == titles_.end() || !it->second.pinned) {
+    return 0;
+  }
+  return it->second.prefix_end_chunk;
+}
+
 double StreamCache::popularity(TitleId title, crbase::Time now) const {
   auto it = titles_.find(title);
   return it == titles_.end() ? 0.0 : DecayedScore(it->second, now);

@@ -160,6 +160,10 @@ class StreamCache {
   bool HasFollower(StreamId id) const;
   bool cache_served(StreamId id) const;
   bool prefix_pinned(TitleId title) const;
+  // Pinned-prefix coverage: chunks [0, end) are resident; 0 when the title
+  // is unknown or unpinned. The multicast group manager tests late-joiner
+  // bridges against this bound.
+  std::int64_t prefix_end_chunk(TitleId title) const;
   double popularity(TitleId title, crbase::Time now) const;
   std::int64_t pairs_active() const { return pairs_active_; }
   std::int64_t pinned_titles() const { return pinned_titles_; }

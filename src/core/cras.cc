@@ -48,6 +48,9 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crdisk::DiskDriver& driver, crufs::
     kernel_->WireMemory("cras-cache",
                         options_.cache.interval_pool_bytes + options_.cache.prefix_pool_bytes);
   }
+  if (options_.mcast.enabled) {
+    group_mgr_ = std::make_unique<crmcast::GroupManager>(options_.mcast);
+  }
   AttachObs(options_.obs);
 }
 
@@ -78,6 +81,9 @@ CrasServer::CrasServer(crrt::Kernel& kernel, crvol::Volume& volume, crufs::Ufs& 
     kernel_->WireMemory("cras-cache",
                         options_.cache.interval_pool_bytes + options_.cache.prefix_pool_bytes);
   }
+  if (options_.mcast.enabled) {
+    group_mgr_ = std::make_unique<crmcast::GroupManager>(options_.mcast);
+  }
   AttachObs(options_.obs);
 }
 
@@ -92,6 +98,9 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   volume_admission_.AttachObs(hub);
   if (cache_ != nullptr) {
     cache_->AttachObs(hub);
+  }
+  if (group_mgr_ != nullptr) {
+    group_mgr_->AttachObs(hub);
   }
   auto obs = std::make_unique<ObsState>();
   obs->hub = hub;
@@ -271,8 +280,8 @@ crsim::Task CrasServer::RequestSchedulerThread(crrt::ThreadContext& ctx) {
     // paper's single-disk figure. With the cache on, cache-served streams
     // are charged the fallback reserve instead of per-stream disk time.
     const crvol::VolumeAdmissionModel::Estimate estimate =
-        cache_ != nullptr ? volume_admission_.EvaluateCached(CurrentCachedDemands())
-                          : volume_admission_.Evaluate(CurrentDemands());
+        UseCachedAdmission() ? volume_admission_.EvaluateCached(CurrentCachedDemands())
+                             : volume_admission_.Evaluate(CurrentDemands());
     record.estimated_io = estimate.WorstIoTime();
     interval_records_.push_back(record);
 
@@ -447,7 +456,7 @@ void CrasServer::SignalShutdown() { signal_port_.Send(1); }
 // Request-manager operations
 // ---------------------------------------------------------------------------
 
-crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
+crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params, bool internal_feed) {
   const auto reject = [this](crbase::Status st) {
     ++stats_.sessions_rejected;
     if (obs_ != nullptr) {
@@ -473,21 +482,75 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
       params.rate_factor;
   demand.chunk_bytes = params.index.max_chunk_bytes();
 
+  // Delivery-group placement: a grouped read joins (or founds) the title's
+  // group before its own admission, so it can be charged as a memory-only
+  // member. Founding a group opens the server-owned feed session first —
+  // the group's one disk stream, admitted at rate * (1 + repair_overhead)
+  // so the XOR repair channel rides an audited reservation.
+  crmcast::JoinPlan group_plan;
+  bool founded_group = false;
+  if (group_mgr_ != nullptr && !internal_feed && params.grouped &&
+      params.kind == SessionKind::kRead && params.rate_factor == 1.0) {
+    if (cache_ != nullptr) {
+      cache_->NoteOpen(params.inode, params.index, kernel_->Now());
+    }
+    const std::int64_t prefix_end =
+        cache_ != nullptr ? cache_->prefix_end_chunk(params.inode) : 0;
+    group_plan = group_mgr_->PlanJoin(params.inode, prefix_end);
+    if (!group_plan.joined) {
+      OpenParams feed_params;
+      feed_params.inode = params.inode;
+      feed_params.index = params.index;
+      feed_params.declared_rate =
+          demand.rate_bytes_per_sec * (1.0 + options_.mcast.repair_overhead);
+      feed_params.kind = SessionKind::kRead;
+      crbase::Result<SessionId> feed =
+          HandleOpen(std::move(feed_params), /*internal_feed=*/true);
+      if (feed.ok()) {
+        group_plan.joined = true;
+        group_plan.feed = *feed;
+        group_plan.group = group_mgr_->CreateGroup(params.inode, *feed);
+        group_plan.merge_chunk = 0;
+        founded_group = true;
+        if (Session* f = FindSession(*feed)) {
+          f->feed = true;
+        }
+      }
+      // On feed rejection the open proceeds as a plain unicast session.
+    }
+  }
+  const bool grouped = group_plan.joined;
+  // Founding failed half-open state is unwound on member rejection below.
+  const auto unwind_group = [&] {
+    if (grouped) {
+      // The member never registered; drop the placeholder and close the
+      // feed we just opened if it is now the group's only occupant.
+      if (founded_group) {
+        group_mgr_->DissolveByFeed(group_plan.feed);
+        (void)HandleClose(group_plan.feed);
+      }
+    }
+  };
+
   // Plan cache service first: a stream trailing a predecessor inside a
   // pinned prefix is admitted at memory cost (never dearer than disk cost,
-  // so no second admission attempt is needed on rejection).
+  // so no second admission attempt is needed on rejection). Group members
+  // skip interval pairing — the multicast feed, not a predecessor's
+  // deposits, covers them past the merge point.
   crcache::OpenDecision cache_plan;
-  if (cache_ != nullptr && params.kind == SessionKind::kRead) {
+  if (cache_ != nullptr && params.kind == SessionKind::kRead && !grouped) {
     cache_->NoteOpen(params.inode, params.index, kernel_->Now());
     cache_plan = cache_->PlanOpen(params.inode, 0);
   }
 
   // The admission test (§2.3), run per member disk: every disk's interval
   // deadline and the memory budget must hold.
-  if (cache_ != nullptr) {
+  if (UseCachedAdmission()) {
     std::vector<crvol::CachedStreamDemand> demands = CurrentCachedDemands();
-    demands.push_back({demand, cache_plan.serve == crcache::ServeClass::kCached});
+    demands.push_back(
+        {demand, grouped || cache_plan.serve == crcache::ServeClass::kCached});
     if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
+      unwind_group();
       return reject(crbase::ResourceExhaustedError("admission test failed"));
     }
   } else {
@@ -506,6 +569,8 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
   session.demand = demand;
   session.rate_factor = params.rate_factor;
   session.cache_served = cache_plan.serve == crcache::ServeClass::kCached;
+  session.group_served = grouped;
+  session.group_limit_chunk = grouped ? group_plan.merge_chunk : -1;
   const std::int64_t buffer_bytes = volume_admission_.BufferBytes(demand);
   session.buffer =
       std::make_unique<TimeDrivenBuffer>(buffer_bytes, options_.jitter_allowance);
@@ -529,6 +594,9 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params) {
     // future followers attach to.
     cache_->Register(id, title, 0, cache_plan, kernel_->Now());
   }
+  if (grouped) {
+    group_mgr_->AddMember(group_plan.group, id, group_plan.merge_chunk);
+  }
   return id;
 }
 
@@ -536,6 +604,23 @@ crbase::Status CrasServer::HandleClose(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return crbase::NotFoundError("no such session");
+  }
+  SessionId feed_to_close = kInvalidSession;
+  if (group_mgr_ != nullptr) {
+    if (it->second.feed) {
+      // A dying feed dissolves its group: every member falls back to
+      // unicast disk service at its current position (never a silent
+      // miss) and is settled — re-admitted on the freed feed bandwidth or
+      // shed — by the next owner of the control flow.
+      for (const crmcast::SessionId member : group_mgr_->DissolveByFeed(id)) {
+        if (Session* m = FindSession(member); m != nullptr && m->group_served) {
+          ResumeUnicast(*m);
+          cache_fallback_pending_ = true;
+        }
+      }
+    } else {
+      feed_to_close = group_mgr_->RemoveMember(id, "close");
+    }
   }
   const std::int64_t buffer_bytes = it->second.buffer->capacity_bytes();
   buffer_bytes_reserved_ -= buffer_bytes;
@@ -558,6 +643,12 @@ crbase::Status CrasServer::HandleClose(SessionId id) {
     }
   }
   sessions_.erase(it);
+  if (feed_to_close != kInvalidSession) {
+    // The last member left: the group dissolved with it, so the
+    // server-owned feed has nobody to serve. One level of recursion only —
+    // a feed close never returns another feed.
+    (void)HandleClose(feed_to_close);
+  }
   return crbase::OkStatus();
 }
 
@@ -571,6 +662,17 @@ crbase::Status CrasServer::HandleStart(SessionId id, crbase::Duration initial_de
   }
   session->started = true;
   session->clock->Start(initial_delay);
+  if (session->group_served && group_mgr_ != nullptr) {
+    // The first member to start also starts the group's feed: member
+    // clocks trail the feed clock by their arrival offset, which is
+    // exactly the lag the prefix bridge covers.
+    const crmcast::GroupId group = group_mgr_->GroupOf(id);
+    const crmcast::SessionId feed = group_mgr_->FeedOf(group);
+    if (Session* f = FindSession(feed); f != nullptr && !f->started) {
+      f->started = true;
+      f->clock->Start(initial_delay);
+    }
+  }
   return crbase::OkStatus();
 }
 
@@ -600,6 +702,16 @@ crbase::Status CrasServer::HandleSeek(SessionId id, crbase::Time logical) {
   session->buffer->Clear();
   session->next_chunk = chunk;
   session->prefetch_pos = session->index.at(static_cast<std::size_t>(chunk)).timestamp;
+  bool resettle = false;
+  SessionId feed_to_close = kInvalidSession;
+  if (session->group_served && group_mgr_ != nullptr) {
+    // A seek breaks position compatibility with the group: the member
+    // leaves and is disk-charged at its new play point.
+    feed_to_close = group_mgr_->RemoveMember(id, "seek");
+    session->group_served = false;
+    session->group_limit_chunk = -1;
+    resettle = true;
+  }
   if (cache_ != nullptr) {
     // A seek invalidates any pair this stream is part of (its play point
     // jumped); simplest sound policy: drop to disk service at the new
@@ -607,8 +719,14 @@ crbase::Status CrasServer::HandleSeek(SessionId id, crbase::Time logical) {
     // already charged or covered by the fallback reserve — but orphans may
     // overload the array, so re-settle.
     if (DetachFromCache(id)) {
-      ShedUntilAdmissible();
+      resettle = true;
     }
+  }
+  if (feed_to_close != kInvalidSession) {
+    (void)HandleClose(feed_to_close);
+  }
+  if (resettle) {
+    ShedUntilAdmissible();
   }
   return crbase::OkStatus();
 }
@@ -623,6 +741,21 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
   }
   if (session->kind != SessionKind::kRead) {
     return crbase::FailedPreconditionError("rate change on a write session");
+  }
+  if (session->group_served && group_mgr_ != nullptr) {
+    // A non-unit rate cannot ride the group's shared feed; the member
+    // leaves before re-admission at the new rate.
+    const SessionId feed_to_close = group_mgr_->RemoveMember(id, "set_rate");
+    session->group_served = false;
+    session->group_limit_chunk = -1;
+    if (feed_to_close != kInvalidSession) {
+      (void)HandleClose(feed_to_close);
+    }
+    ShedUntilAdmissible();
+    session = FindSession(id);
+    if (session == nullptr) {
+      return crbase::ResourceExhaustedError("session shed settling its group demotion");
+    }
   }
   if (cache_ != nullptr) {
     // A rate change breaks pair pacing (predecessor and follower no longer
@@ -640,11 +773,12 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
   StreamDemand new_demand = session->demand;
   new_demand.rate_bytes_per_sec =
       new_demand.rate_bytes_per_sec / session->rate_factor * rate_factor;
-  if (cache_ != nullptr) {
+  if (UseCachedAdmission()) {
     std::vector<crvol::CachedStreamDemand> demands;
     demands.reserve(sessions_.size());
     for (const auto& [other_id, other] : sessions_) {
-      demands.push_back({other_id == id ? new_demand : other.demand, other.cache_served});
+      demands.push_back({other_id == id ? new_demand : other.demand,
+                         other.cache_served || other.group_served});
     }
     if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
       return crbase::ResourceExhaustedError("admission test failed at the new rate");
@@ -721,7 +855,7 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
   // Re-run the admission test: the array may have degraded (or filled up)
   // since the session was reaped, and a resumed stream gets no special
   // claim over the ones admitted meanwhile.
-  if (cache_ != nullptr) {
+  if (UseCachedAdmission()) {
     std::vector<crvol::CachedStreamDemand> demands = CurrentCachedDemands();
     demands.push_back({old.demand, cache_plan.serve == crcache::ServeClass::kCached});
     if (!volume_admission_.AdmissibleCached(demands, options_.memory_budget_bytes)) {
@@ -779,8 +913,46 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
 }
 
 // ---------------------------------------------------------------------------
-// Lease reaper
+// Multicast demotion
 // ---------------------------------------------------------------------------
+
+void CrasServer::ResumeUnicast(Session& session) {
+  session.group_served = false;
+  session.group_limit_chunk = -1;
+  const std::int64_t count = static_cast<std::int64_t>(session.index.count());
+  std::int64_t chunk = session.index.FindByTime(session.clock->Now());
+  if (chunk < 0) {
+    chunk = 0;
+  }
+  // Never re-fetch behind either the clock or the bridge patch already
+  // scheduled; the multicast-delivered middle is the receiver's to keep.
+  session.next_chunk = std::min(std::max(session.next_chunk, chunk), count);
+  if (session.next_chunk < count) {
+    session.prefetch_pos =
+        session.index.at(static_cast<std::size_t>(session.next_chunk)).timestamp;
+  } else {
+    const crmedia::Chunk& tail = session.index.at(static_cast<std::size_t>(count - 1));
+    session.prefetch_pos = tail.timestamp + tail.duration;
+  }
+}
+
+bool CrasServer::DemoteGroupMember(SessionId id, const std::string& reason) {
+  Session* session = FindSession(id);
+  if (session == nullptr || !session->group_served || group_mgr_ == nullptr) {
+    return false;
+  }
+  const SessionId feed_to_close = group_mgr_->RemoveMember(id, reason);
+  ResumeUnicast(*session);
+  if (feed_to_close != kInvalidSession) {
+    // The demoted member was the group's last: nobody left to feed.
+    (void)HandleClose(feed_to_close);
+  }
+  // Re-settle: the member is disk-charged from here on (the fallback
+  // reserve covered the flip); the freed feed bandwidth may re-admit it,
+  // or the settle sheds the costliest streams.
+  ShedUntilAdmissible();
+  return HasSession(id);
+}
 
 void CrasServer::RenewLease(SessionId id) {
   Session* session = FindSession(id);
@@ -801,6 +973,9 @@ void CrasServer::ReapExpired() {
       options_.lease_grace * static_cast<double>(options_.lease_period));
   std::vector<SessionId> expired;
   for (const auto& [id, session] : sessions_) {
+    if (session.feed) {
+      continue;  // server-owned: no client lease to lapse
+    }
     if (now - session.lease_renewed_at > deadline) {
       expired.push_back(id);
     }
@@ -884,7 +1059,10 @@ void CrasServer::ShedUntilAdmissible() {
   //      frees a full disk share and breaks nothing;
   //   2. disk-charged chain heads — the follower falls back, so the net
   //      relief is smaller and a fallback cascades;
-  //   3. cache-served streams — nearly free to serve, shed last.
+  //   3. cache-served and group-member streams — nearly free to serve,
+  //      shed late;
+  //   4. delivery-group feeds — each carries a whole group (shedding one
+  //      demotes every member to disk service), shed last.
   // Within a class: highest-rate first (the degraded array loses the fewest
   // streams), ties toward younger sessions. Cache off: every stream is
   // class 1's complement — plain highest-rate-first, the classic order.
@@ -893,7 +1071,7 @@ void CrasServer::ShedUntilAdmissible() {
       break;
     }
     const bool admissible =
-        cache_ != nullptr
+        UseCachedAdmission()
             ? volume_admission_.AdmissibleCached(CurrentCachedDemands(),
                                                  options_.memory_budget_bytes)
             : volume_admission_.Admissible(CurrentDemands(), options_.memory_budget_bytes);
@@ -904,12 +1082,12 @@ void CrasServer::ShedUntilAdmissible() {
     int victim_class = 0;
     for (auto& [id, session] : sessions_) {
       int cls = 0;
-      if (cache_ != nullptr) {
-        if (session.cache_served) {
-          cls = 2;
-        } else if (cache_->HasFollower(id)) {
-          cls = 1;
-        }
+      if (session.feed) {
+        cls = 3;
+      } else if (session.cache_served || session.group_served) {
+        cls = 2;
+      } else if (cache_ != nullptr && cache_->HasFollower(id)) {
+        cls = 1;
       }
       bool better = victim == nullptr;
       if (!better && cls != victim_class) {
@@ -998,6 +1176,7 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     std::int64_t cylinder;
   };
   std::vector<Planned> planned;
+  std::vector<SessionId> feeds_to_close;
 
   auto plan_range = [&](Session& session, std::int64_t first, std::int64_t last,
                         SessionKind kind) {
@@ -1073,13 +1252,23 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
       // monopolize an interval).
       const std::int64_t count = static_cast<std::int64_t>(session.index.count());
       for (int window = 0; window < 4; ++window) {
+        // A delivery-group member schedules only its bridge patch
+        // [0, merge): everything past the merge point arrives through the
+        // group's multicast feed, never through this session's own I/O.
+        const std::int64_t limit =
+            session.group_served && session.group_limit_chunk >= 0
+                ? std::min(count, session.group_limit_chunk)
+                : count;
+        if (session.group_served && session.next_chunk >= limit) {
+          break;  // patch complete; the multicast feed carries the rest
+        }
         if (session.prefetch_pos > session.clock->Now() + 2 * advance) {
           break;
         }
         const crbase::Time window_end = session.prefetch_pos + advance;
         std::int64_t first = session.next_chunk;
         std::int64_t last = first;
-        while (last < count &&
+        while (last < limit &&
                session.index.at(static_cast<std::size_t>(last)).timestamp < window_end) {
           ++last;
         }
@@ -1114,6 +1303,21 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
             first += run.chunks;
           }
         }
+        if (session.group_served && first < last) {
+          // The pinned prefix no longer covers this member's bridge patch
+          // (unpinned under pressure, or never reached this far): the
+          // remainder is disk I/O a memory-only member must not issue
+          // silently. Demote to unicast — this window's tail rides the
+          // fallback reserve, and the settle below re-admits the stream
+          // disk-charged or sheds it. Mirrors the cache's demote-to-disk.
+          const SessionId feed_orphan = group_mgr_->RemoveMember(id, "patch_miss");
+          if (feed_orphan != kInvalidSession) {
+            feeds_to_close.push_back(feed_orphan);
+          }
+          session.group_served = false;
+          session.group_limit_chunk = -1;
+          cache_fallback_pending_ = true;
+        }
         plan_range(session, first, last, SessionKind::kRead);
         if (cache_ != nullptr && last > session.next_chunk) {
           // Deposit at issue time: these blocks are what a follower's next
@@ -1143,7 +1347,12 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     }
   }
 
-  if (cache_ != nullptr && cache_fallback_pending_) {
+  for (const SessionId feed : feeds_to_close) {
+    // A patch-miss demote emptied its group mid-planning; the feed closes
+    // here, outside the session iteration (HandleClose mutates the map).
+    (void)HandleClose(feed);
+  }
+  if (cache_fallback_pending_) {
     // A stream was demoted mid-planning (its window outran its feed). Its
     // own tail rides the fallback reserve, but the set may no longer be
     // admissible with it disk-charged: settle before submitting, and drop
@@ -1269,7 +1478,9 @@ std::vector<crvol::CachedStreamDemand> CrasServer::CurrentCachedDemands() const 
   std::vector<crvol::CachedStreamDemand> demands;
   demands.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
-    demands.push_back({session.demand, session.cache_served});
+    // Group members are memory-only like cache-served streams: the group's
+    // disk time is charged once, through its feed session.
+    demands.push_back({session.demand, session.cache_served || session.group_served});
   }
   return demands;
 }

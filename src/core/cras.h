@@ -77,6 +77,7 @@
 #include "src/core/logical_clock.h"
 #include "src/core/time_driven_buffer.h"
 #include "src/disk/driver.h"
+#include "src/mcast/group_manager.h"
 #include "src/media/chunk_index.h"
 #include "src/rtmach/kernel.h"
 #include "src/rtmach/periodic.h"
@@ -110,6 +111,12 @@ struct OpenParams {
   // Clock/prefetch rate factor (1.0 = recorded rate; 2.0 = the paper's
   // fast-forward example, which retrieves *every* frame at double speed).
   double rate_factor = 1.0;
+  // Ask for grouped (multicast) delivery. With Options::mcast.enabled the
+  // server batches this viewer onto a delivery group of its title — one
+  // server-owned disk feed per group, members admission-charged like
+  // cache-served streams. Ignored (plain unicast open) when multicast is
+  // off, for write sessions, or at a non-unit rate factor.
+  bool grouped = false;
 };
 
 struct SessionStats {
@@ -188,6 +195,12 @@ class CrasServer {
     // cached windows with zero disk time, and falls back to disk — re-running
     // admission — whenever a predecessor dies or stalls.
     crcache::CacheOptions cache;
+    // Multicast delivery groups (src/mcast). With mcast.enabled, grouped
+    // opens of one title share a single server-owned disk feed session
+    // (admitted at the stream rate times 1 + repair_overhead); the members
+    // are charged memory only, like cache-served streams. Late joiners
+    // bridge from the pinned prefix when the cache is also enabled.
+    crmcast::McastOptions mcast;
     // Observability hub (nullable). When set, the server instruments the
     // whole stack: the volume's member disks and drivers, the admission
     // model, per-stream buffers, interval spans, per-batch prefetch spans,
@@ -267,6 +280,17 @@ class CrasServer {
         this, ControlMsg{ControlMsg::kReconnect, id, OpenParams{}, 0, 0, nullptr, {}}};
   }
 
+  // ---- multicast interface ----
+  // Demotes a delivery-group member back to unicast disk service — the
+  // transport calls this when a receiver has fallen past the repair window
+  // (mirrors the cache's demote-to-disk rule: re-settle admission, never a
+  // silent miss). The member resumes scheduling from its clock position; if
+  // it emptied the group, the feed closes with it. Re-runs the admission
+  // settle, so the demoted stream may be shed (observable via WasShed).
+  // Direct like RenewLease: cheap enough to call from a delivery event.
+  // Returns false when `id` is unknown or not a group member.
+  bool DemoteGroupMember(SessionId id, const std::string& reason);
+
   // ---- lease interface ----
   // Renews session `id`'s lease (no-op on an unknown id — a heartbeat
   // racing the reaper). Direct like Get(): cheap enough to be called from a
@@ -292,6 +316,10 @@ class CrasServer {
   crvol::Volume& volume() { return *volume_; }
   // The stream cache; null when Options::cache.enabled is false.
   const crcache::StreamCache* cache() const { return cache_.get(); }
+  // Delivery-group bookkeeping; null when Options::mcast.enabled is false.
+  crmcast::GroupManager* mcast_groups() { return group_mgr_.get(); }
+  const crmcast::GroupManager* mcast_groups() const { return group_mgr_.get(); }
+  bool HasSession(SessionId id) const { return FindSession(id) != nullptr; }
   const ServerStats& stats() const { return stats_; }
   // Whether the degradation controller shed session `id` (closed it to keep
   // the degraded array's guarantees for the remaining streams). Remembered
@@ -381,6 +409,14 @@ class CrasServer {
     // the cache and admission charges it memory only (mirrors the cache's
     // own state; flipped on fallback).
     bool cache_served = false;
+    // Delivery-group member: interval data arrives via the group's
+    // multicast feed, so admission charges memory only and the scheduler
+    // plans I/O only for the cache-bridged patch [0, group_limit_chunk).
+    bool group_served = false;
+    // Server-owned feed session of a delivery group: carries the group's
+    // one disk stream. No client lease (the reaper skips it); shed last.
+    bool feed = false;
+    std::int64_t group_limit_chunk = -1;  // member patch bound; -1 = none
     crbase::Time prefetch_pos = 0;   // logical time of the next window
     std::int64_t next_chunk = 0;     // first chunk not yet scheduled
     std::deque<std::int64_t> write_queue;  // produced, not yet written
@@ -434,8 +470,9 @@ class CrasServer {
   crsim::Task DegradationControllerThread(crrt::ThreadContext& ctx);
   crsim::Task LeaseReaperThread(crrt::ThreadContext& ctx);
 
-  // Request-manager operations.
-  crbase::Result<SessionId> HandleOpen(OpenParams params);
+  // Request-manager operations. `internal_feed` marks the server's own
+  // recursive open of a delivery-group feed session.
+  crbase::Result<SessionId> HandleOpen(OpenParams params, bool internal_feed = false);
   crbase::Status HandleClose(SessionId id);
   crbase::Status HandleStart(SessionId id, crbase::Duration initial_delay);
   crbase::Status HandleStop(SessionId id);
@@ -465,6 +502,15 @@ class CrasServer {
   // scheduling position. Returns true if any stream's serving class changed
   // (the caller then re-runs ShedUntilAdmissible).
   bool DetachFromCache(SessionId id);
+  // Whether admission decisions use the serving-class-aware cached path
+  // (cache or multicast groups active — both admit memory-only streams).
+  bool UseCachedAdmission() const {
+    return cache_ != nullptr || group_mgr_ != nullptr;
+  }
+  // Flips a group member back to plain unicast disk service: clears the
+  // group flags and resumes scheduling at the clock's current position.
+  // Membership bookkeeping (GroupManager) is the caller's to update.
+  void ResumeUnicast(Session& session);
 
   // Degradation-controller operations.
   // Applies a member state change to the admission model (failed flag,
@@ -520,6 +566,8 @@ class CrasServer {
   crvol::VolumeAdmissionModel volume_admission_;
   // Null unless options_.cache.enabled.
   std::unique_ptr<crcache::StreamCache> cache_;
+  // Null unless options_.mcast.enabled.
+  std::unique_ptr<crmcast::GroupManager> group_mgr_;
   // Set when a close/reap orphaned a cached follower; the next owner of the
   // control flow re-runs ShedUntilAdmissible to settle the fallen-back
   // stream (re-admit on the freed bandwidth, or shed).

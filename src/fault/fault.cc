@@ -143,10 +143,20 @@ FaultInjector::FaultInjector(crsim::Engine& engine, crnet::Link& link, FaultPlan
 
 FaultInjector::FaultInjector(crsim::Engine& engine, crvol::Volume* volume, crnet::Link* link,
                              FaultPlan plan)
-    : engine_(&engine), volume_(volume), link_(link), plan_(std::move(plan)) {
+    : FaultInjector(engine, volume,
+                    link != nullptr ? std::vector<crnet::Link*>{link}
+                                    : std::vector<crnet::Link*>{},
+                    std::move(plan)) {}
+
+FaultInjector::FaultInjector(crsim::Engine& engine, crvol::Volume* volume,
+                             std::vector<crnet::Link*> links, FaultPlan plan)
+    : engine_(&engine), volume_(volume), links_(std::move(links)), plan_(std::move(plan)) {
+  for (crnet::Link* link : links_) {
+    CRAS_CHECK(link != nullptr);
+  }
   for (const FaultEvent& event : plan_.events()) {
     if (IsLinkFault(event.kind)) {
-      CRAS_CHECK(link_ != nullptr) << FaultKindName(event.kind) << " event without a link";
+      CRAS_CHECK(!links_.empty()) << FaultKindName(event.kind) << " event without a link";
     } else {
       CRAS_CHECK(volume_ != nullptr) << FaultKindName(event.kind) << " event without a volume";
       CRAS_CHECK(event.disk < volume_->disks())
@@ -189,20 +199,30 @@ void FaultInjector::Apply(const FaultEvent& event) {
       volume_->SetMemberState(event.disk, crvol::MemberState::kHealthy);
       break;
     case FaultKind::kLinkLoss:
-      link_->SetLoss(event.loss_probability);
+      for (crnet::Link* link : links_) {
+        link->SetLoss(event.loss_probability);
+      }
       break;
     case FaultKind::kLinkBurstLoss:
-      link_->SetBurstLoss(event.ge_p_enter_bad, event.ge_p_exit_bad, event.ge_loss_bad);
+      for (crnet::Link* link : links_) {
+        link->SetBurstLoss(event.ge_p_enter_bad, event.ge_p_exit_bad, event.ge_loss_bad);
+      }
       break;
     case FaultKind::kLinkJitter:
-      link_->SetJitter(event.jitter);
-      link_->SetReordering(event.reorder_probability, event.reorder_delay);
+      for (crnet::Link* link : links_) {
+        link->SetJitter(event.jitter);
+        link->SetReordering(event.reorder_probability, event.reorder_delay);
+      }
       break;
     case FaultKind::kLinkDerate:
-      link_->SetBandwidthDerating(event.throughput_derating);
+      for (crnet::Link* link : links_) {
+        link->SetBandwidthDerating(event.throughput_derating);
+      }
       break;
     case FaultKind::kLinkRecover:
-      link_->ClearImpairments();
+      for (crnet::Link* link : links_) {
+        link->ClearImpairments();
+      }
       break;
   }
   const bool is_link = IsLinkFault(event.kind);

@@ -120,16 +120,21 @@ class FaultPlan {
   std::vector<FaultEvent> events_;
 };
 
-// Schedules a plan's events against one volume and/or one link. Arm() may
-// be called once; the injector must outlive the armed events or be
-// destroyed to cancel the ones still pending (the targets must outlive the
-// injector). A plan's disk events require a volume, its link events a link.
+// Schedules a plan's events against one volume and/or a set of links.
+// Arm() may be called once; the injector must outlive the armed events or
+// be destroyed to cancel the ones still pending (the targets must outlive
+// the injector). A plan's disk events require a volume, its link events at
+// least one link. With several links — e.g. the shared forward link of a
+// multicast delivery group plus its members' reverse links — every link
+// event applies to all of them, so one script degrades the whole path.
 class FaultInjector {
  public:
   FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan);
   FaultInjector(crsim::Engine& engine, crnet::Link& link, FaultPlan plan);
   FaultInjector(crsim::Engine& engine, crvol::Volume* volume, crnet::Link* link,
                 FaultPlan plan);
+  FaultInjector(crsim::Engine& engine, crvol::Volume* volume,
+                std::vector<crnet::Link*> links, FaultPlan plan);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
   ~FaultInjector();
@@ -152,7 +157,7 @@ class FaultInjector {
 
   crsim::Engine* engine_;
   crvol::Volume* volume_;
-  crnet::Link* link_;
+  std::vector<crnet::Link*> links_;
   FaultPlan plan_;
   bool armed_ = false;
   std::int64_t fired_ = 0;

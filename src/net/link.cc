@@ -31,10 +31,32 @@ bool Link::Send(std::int64_t bytes, std::function<void()> deliver) {
     return false;
   }
   ++stats_.packets_sent;
+  stats_.bytes_sent += bytes;
   if (obs_ != nullptr) {
     obs_->packets_sent->Add();
   }
-  queue_.push_back(Packet{bytes, std::move(deliver)});
+  queue_.push_back(Packet{bytes, std::move(deliver), {}});
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
+  if (!transmitting_) {
+    StartTransmit();
+  }
+  return true;
+}
+
+bool Link::Multicast(std::int64_t bytes, std::vector<std::function<void()>> delivers) {
+  CRAS_CHECK(bytes > 0);
+  CRAS_CHECK(!delivers.empty());
+  if (options_.queue_limit != 0 && queue_.size() >= options_.queue_limit) {
+    ++stats_.packets_dropped;
+    ++stats_.tx_queue_drops;
+    if (obs_ != nullptr) {
+      obs_->tx_queue_drops->Add();
+    }
+    return false;
+  }
+  ++stats_.mcast_packets_sent;
+  stats_.bytes_sent += bytes;
+  queue_.push_back(Packet{bytes, nullptr, std::move(delivers)});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth());
   if (!transmitting_) {
     StartTransmit();
@@ -85,23 +107,34 @@ void Link::ClearImpairments() {
   ge_in_bad_state_ = false;
 }
 
-bool Link::DrawWireLoss() {
-  if (impairments_.gilbert_elliott) {
-    // Step the chain, then draw against the state the packet sees.
-    if (ge_in_bad_state_) {
-      if (rng_.NextDouble() < impairments_.ge_p_exit_bad) {
-        ge_in_bad_state_ = false;
-      }
-    } else {
-      if (rng_.NextDouble() < impairments_.ge_p_enter_bad) {
-        ge_in_bad_state_ = true;
-      }
+void Link::StepLossState() {
+  if (!impairments_.gilbert_elliott) {
+    return;
+  }
+  if (ge_in_bad_state_) {
+    if (rng_.NextDouble() < impairments_.ge_p_exit_bad) {
+      ge_in_bad_state_ = false;
     }
+  } else {
+    if (rng_.NextDouble() < impairments_.ge_p_enter_bad) {
+      ge_in_bad_state_ = true;
+    }
+  }
+}
+
+bool Link::DrawLossNow() {
+  if (impairments_.gilbert_elliott) {
     const double p = ge_in_bad_state_ ? impairments_.ge_loss_bad : impairments_.ge_loss_good;
     return p > 0.0 && rng_.NextDouble() < p;
   }
   return impairments_.loss_probability > 0.0 &&
          rng_.NextDouble() < impairments_.loss_probability;
+}
+
+bool Link::DrawWireLoss() {
+  // Step the chain, then draw against the state the packet sees.
+  StepLossState();
+  return DrawLossNow();
 }
 
 Duration Link::DrawExtraDelay() {
@@ -135,28 +168,49 @@ void Link::StartTransmit() {
   // sequence is independent of delivery interleaving.
   engine_->ScheduleAfter(wire_time, [this, packet = std::move(packet)]() mutable {
     transmitting_ = false;
-    if (DrawWireLoss()) {
+    if (!packet.multi.empty()) {
+      // One serialized packet, N receivers: the shared loss state advances
+      // once, then every receiver draws its fate (and jitter) on its own.
+      StepLossState();
+      for (std::function<void()>& deliver : packet.multi) {
+        if (DrawLossNow()) {
+          ++stats_.mcast_receiver_drops;
+        } else {
+          DeliverOne(packet.bytes, std::move(deliver), /*multicast=*/true);
+        }
+      }
+    } else if (DrawWireLoss()) {
       ++stats_.packets_dropped;
       ++stats_.wire_drops;
       if (obs_ != nullptr) {
         obs_->wire_drops->Add();
       }
     } else {
-      engine_->ScheduleAfter(options_.propagation_delay + DrawExtraDelay(),
-                             [this, bytes = packet.bytes, deliver = std::move(packet.deliver)] {
-                               ++stats_.packets_delivered;
-                               stats_.bytes_delivered += bytes;
-                               if (obs_ != nullptr) {
-                                 obs_->packets_delivered->Add();
-                                 obs_->bytes_delivered->Add(bytes);
-                               }
-                               if (deliver) {
-                                 deliver();
-                               }
-                             });
+      DeliverOne(packet.bytes, std::move(packet.deliver), /*multicast=*/false);
     }
     StartTransmit();
   });
+}
+
+void Link::DeliverOne(std::int64_t bytes, std::function<void()> deliver, bool multicast) {
+  engine_->ScheduleAfter(options_.propagation_delay + DrawExtraDelay(),
+                         [this, bytes, multicast, deliver = std::move(deliver)] {
+                           if (multicast) {
+                             ++stats_.mcast_deliveries;
+                           } else {
+                             ++stats_.packets_delivered;
+                           }
+                           stats_.bytes_delivered += bytes;
+                           if (obs_ != nullptr) {
+                             if (!multicast) {
+                               obs_->packets_delivered->Add();
+                             }
+                             obs_->bytes_delivered->Add(bytes);
+                           }
+                           if (deliver) {
+                             deliver();
+                           }
+                         });
 }
 
 void Link::AttachObs(crobs::Hub* hub, const std::string& name) {

@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/base/random.h"
 #include "src/base/time_units.h"
@@ -53,6 +54,17 @@ struct LinkStats {
   std::int64_t tx_queue_drops = 0;  // refused at Send(): transmit queue full
   std::int64_t wire_drops = 0;      // serialized, then lost on the wire
   std::int64_t bytes_delivered = 0;
+  // Payload bytes accepted for serialization — paid once per transmission,
+  // unicast or multicast, so this is the sender-side cost a fan-out saves.
+  std::int64_t bytes_sent = 0;
+  // Multicast fan-out. A multicast transmission serializes once (one entry
+  // in busy_time, one bytes_sent charge) and then every attached receiver
+  // draws its own wire loss: deliveries/drops count per receiver. Kept
+  // apart from the unicast counters so packets_sent = delivered + dropped
+  // keeps holding for unicast traffic.
+  std::int64_t mcast_packets_sent = 0;
+  std::int64_t mcast_deliveries = 0;
+  std::int64_t mcast_receiver_drops = 0;
   Duration busy_time = 0;
   std::size_t max_queue_depth = 0;
 };
@@ -111,6 +123,14 @@ class Link {
   // packet's `deliver` never fires.
   bool Send(std::int64_t bytes, std::function<void()> deliver);
 
+  // Multicast: one serialized transmission fanned out to every receiver of
+  // a group address. Wire time is paid once; at serialization end the loss
+  // model steps once (the shared-medium burst state advances per packet)
+  // and then *each* receiver draws its own loss and jitter independently —
+  // one multicast packet can reach some receivers and miss others. A
+  // receiver whose draw loses the packet never sees its deliver closure.
+  bool Multicast(std::int64_t bytes, std::vector<std::function<void()>> delivers);
+
   // ---- impairment control (live; crfault's link events land here) ----
   void SetImpairments(const LinkImpairments& impairments);
   void SetLoss(double probability);
@@ -140,7 +160,8 @@ class Link {
  private:
   struct Packet {
     std::int64_t bytes;
-    std::function<void()> deliver;
+    std::function<void()> deliver;           // unicast receiver
+    std::vector<std::function<void()>> multi;  // multicast receivers (if any)
   };
   struct ObsState {
     crobs::Hub* hub = nullptr;
@@ -152,8 +173,14 @@ class Link {
   };
 
   void StartTransmit();
+  void DeliverOne(std::int64_t bytes, std::function<void()> deliver, bool multicast);
   // Steps the loss model one packet; true = this packet dies on the wire.
   bool DrawWireLoss();
+  // Advances the Gilbert–Elliott chain one packet (no-op for i.i.d. loss).
+  void StepLossState();
+  // Draws a loss against the *current* state without advancing it — the
+  // per-receiver draw of a multicast delivery.
+  bool DrawLossNow();
   // Extra delivery delay past the nominal propagation (jitter + reorder).
   Duration DrawExtraDelay();
 

@@ -112,7 +112,7 @@ void NpsReceiver::OnTimer(std::uint64_t seq) {
     give_up = true;
   } else if (entry.naks >= options_.max_naks) {
     give_up = true;
-  } else if (has_metadata && clock_.Now() > entry.chunk.timestamp + entry.chunk.duration) {
+  } else if (has_metadata && clock_.Now() > ChunkDeadline(entry.chunk)) {
     // Playout has moved past this chunk; repaired data would be discarded
     // on arrival.
     give_up = true;
@@ -303,7 +303,7 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
       if (buffered.has_value()) {
         break;
       }
-      if (server_->LogicalNow(session) > chunk.timestamp + chunk.duration) {
+      if (server_->LogicalNow(session) > ChunkDeadline(chunk)) {
         break;
       }
       co_await ctx.Sleep(options_.poll);
@@ -332,7 +332,7 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
       stored.chunk = *buffered;
       stored.sent_at = sent_at;
       stored.frag_bytes = frag_bytes;
-      stored.deadline = buffered->timestamp + buffered->duration;
+      stored.deadline = ChunkDeadline(*buffered);
       store_.emplace(seq, std::move(stored));
     }
     for (int i = 0; i < frag_count; ++i) {

@@ -52,6 +52,20 @@ namespace crnet {
 
 class NpsSender;
 
+// The one shared playout-deadline rule: a chunk is repair-worthy until the
+// end of its playout slot, `timestamp + duration`, on the *logical* clock.
+// The NAK sender's refusal check, the receiver's drop rule, the sender's
+// store pruning, and grouped XOR repair (src/mcast) all call this helper so
+// the boundary chunk — logical clock exactly at the deadline — is treated
+// identically everywhere: still repairable at the deadline, dead strictly
+// past it.
+inline crbase::Time ChunkDeadline(const cras::BufferedChunk& chunk) {
+  return chunk.timestamp + chunk.duration;
+}
+inline crbase::Time ChunkDeadline(const crmedia::Chunk& chunk) {
+  return chunk.timestamp + chunk.duration;
+}
+
 // One NPS packet: a fragment of chunk number `seq`. Every fragment carries
 // the full chunk metadata, so reassembly survives the loss of any subset.
 struct NpsFragment {
@@ -62,6 +76,7 @@ struct NpsFragment {
   cras::BufferedChunk chunk;
   crbase::Time sent_at = 0;  // original chunk send start (sender host time)
   bool retransmit = false;
+  bool multicast = false;  // delivered by group fan-out, not a unicast send
 };
 
 // A repair request: the fragments of `seq` the receiver is still missing.

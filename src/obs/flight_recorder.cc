@@ -33,6 +33,16 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "cache_pair_broken";
     case FlightEventKind::kCacheFallback:
       return "cache_fallback";
+    case FlightEventKind::kGroupFormed:
+      return "group_formed";
+    case FlightEventKind::kGroupJoined:
+      return "group_joined";
+    case FlightEventKind::kGroupLeft:
+      return "group_left";
+    case FlightEventKind::kRepairSent:
+      return "repair_sent";
+    case FlightEventKind::kRepairDecodeFailed:
+      return "repair_decode_failed";
   }
   return "unknown";
 }

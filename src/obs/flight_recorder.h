@@ -46,6 +46,11 @@ enum class FlightEventKind : std::uint8_t {
   kCachePairFormed,   // a: follower session, b: predecessor, value: reserved bytes
   kCachePairBroken,   // a: follower session, b: predecessor, detail: reason
   kCacheFallback,     // a: session, b: chunks the cache could not serve
+  kGroupFormed,       // a: delivery group, b: feed session
+  kGroupJoined,       // a: member session, b: group, value: merge chunk
+  kGroupLeft,         // a: member session, b: group, detail: reason
+  kRepairSent,        // a: group, b: window fragments, value: repair bytes
+  kRepairDecodeFailed,  // a: sequence number, b: missing fragments in window
 };
 
 const char* FlightEventKindName(FlightEventKind kind);
