@@ -1,0 +1,432 @@
+// Chaos soak: seeded fault campaigns against the full rig, audited for
+// cross-layer conservation after every run.
+//
+// Each seed expands (crchaos::GenerateChaosSchedule) into a randomized fault
+// plan — disk fail-stop/transient/slow windows, data-link loss/burst/jitter/
+// derate, control-plane drop+duplication, abrupt client crashes — and runs it
+// against a fresh instance of the complete server: a 4-disk parity volume,
+// stream cache, one multicast delivery group plus unicast viewers on a shared
+// lossy data link, per-session lease heartbeats, and every Open/StartStream/
+// Close issued through the hardened control plane (idempotent request ids,
+// capped-exponential retry) over the very links the campaign impairs.
+//
+// After the run the invariant auditor (crchaos::AuditRun) checks the books:
+// every admitted session terminal, every miss attributable, reservations
+// balanced, healthy disks overrun-free, multicast membership conserved. Any
+// violation dumps the flight recorder (chaos_soak_dump_seed<seed>.json) and
+// fails the bench. The report's fault -> re-settled-admission gaps aggregate
+// into the recovery-latency percentiles.
+//
+// A final deliberate double-fault run (two parity members down at once,
+// merged into a generated schedule) must make the auditor bite: the bench
+// asserts that run IS flagged and its flight dump written — proof the clean
+// sweep is a property of the server, not of a blind auditor.
+//
+// Flags: --seeds=N (default 25), --seed-base=K (default 1; campaign i uses
+// seed K+i, so CI can rotate the window and any failure replays with
+// --seeds=1 --seed-base=<seed>), --intensity=X (default 1.0), --out=<file>
+// (default BENCH_chaos_soak.json), --csv.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chaos/chaos.h"
+#include "src/core/testbed.h"
+#include "src/fault/fault.h"
+#include "src/mcast/group_manager.h"
+#include "src/mcast/group_transport.h"
+#include "src/net/control.h"
+#include "src/net/link.h"
+#include "src/net/nps.h"
+
+namespace {
+
+using crbase::Milliseconds;
+using crbase::Seconds;
+
+constexpr int kGroupedViewers = 3;
+constexpr int kUnicastViewers = 3;
+constexpr int kViewers = kGroupedViewers + kUnicastViewers;
+constexpr crbase::Duration kMovieLength = Seconds(16);
+constexpr crbase::Duration kRunLength = Seconds(30);
+
+// One viewer endpoint: a control-plane client, a lease heartbeat, and either
+// a grouped or a unicast data path. The chaos crash handler flips `crashed`,
+// after which the viewer never heartbeats, consumes, or closes again.
+struct SoakViewer {
+  cras::SessionId session = cras::kInvalidSession;
+  bool grouped = false;
+  bool crashed = false;
+  bool closed = false;
+  std::unique_ptr<crnet::Link> reverse;
+  std::unique_ptr<crnet::ControlClient> control;
+  std::unique_ptr<crnet::LeaseClient> lease;
+  std::unique_ptr<crmcast::GroupReceiver> group_receiver;
+  std::unique_ptr<crnet::NpsReceiver> nps_receiver;
+  std::unique_ptr<crnet::NpsSender> nps_sender;
+  std::int64_t frames_ok = 0;
+  std::int64_t frames_missed = 0;
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::size_t plan_events = 0;
+  std::int64_t events_fired = 0;
+  int crashes = 0;
+  std::int64_t frames_ok = 0;
+  std::int64_t frames_missed = 0;
+  std::int64_t control_retries = 0;
+  std::vector<double> recovery_ms;
+  std::vector<crchaos::Violation> violations;
+  bool dumped = false;
+};
+
+cras::VolumeTestbedOptions RigOptions() {
+  cras::VolumeTestbedOptions options;
+  options.volume.disks = 4;
+  options.volume.parity = true;
+  options.cras.memory_budget_bytes = 64 * crbase::kMiB;
+  options.cras.cache.enabled = true;
+  options.cras.cache.pin_min_score = 0.5;
+  options.cras.cache.prefix_length = Seconds(20);
+  options.cras.mcast.enabled = true;
+  options.cras.lease_period = Milliseconds(500);
+  return options;
+}
+
+// Runs one full campaign: seed -> plan (plus an optional hand-written merge,
+// used by the double-fault demo), full rig, audit. `dump_path` receives the
+// flight recorder if the audit finds violations.
+CampaignResult RunCampaign(std::uint64_t seed, double intensity,
+                           const crfault::FaultPlan* merge_plan,
+                           const std::string& dump_path) {
+  cras::VolumeTestbed bed(RigOptions());
+  bed.StartServers();
+
+  std::vector<crmedia::MediaFile> movies;
+  movies.reserve(1 + kUnicastViewers);  // viewers hold references
+  movies.push_back(*crmedia::WriteMpeg1File(bed.fs, "hot", kMovieLength));
+  for (int i = 0; i < kUnicastViewers; ++i) {
+    movies.push_back(
+        *crmedia::WriteMpeg1File(bed.fs, "u" + std::to_string(i), kMovieLength));
+  }
+
+  // Shared data segment (fast LAN) the chaos link faults will degrade; the
+  // control plane and lease heartbeats ride their own links, which the
+  // campaign's control-drop windows impair instead.
+  crnet::Link::Options forward_options;
+  forward_options.bandwidth_bytes_per_sec = 12.5e6;  // 100 Mb/s
+  crnet::Link forward(bed.engine(), forward_options);
+  crnet::Link control_forward(bed.engine());
+  crnet::Link control_reverse(bed.engine());
+  crnet::Link heartbeat(bed.engine());
+
+  crnet::ControlService service(bed.kernel, bed.cras_server);
+  service.Start();
+  crmcast::GroupSender group_sender(bed.kernel, bed.cras_server, forward);
+  group_sender.AttachObs(&bed.hub, "soak");
+
+  std::vector<SoakViewer> fleet(kViewers);
+  std::vector<crsim::Task> tasks;
+  tasks.reserve(64);
+  std::int64_t frames_missed_total = 0;
+  crbase::Time first_miss_at = -1;
+
+  for (int i = 0; i < kViewers; ++i) {
+    SoakViewer* viewer = &fleet[static_cast<std::size_t>(i)];
+    viewer->grouped = i < kGroupedViewers;
+    viewer->reverse = std::make_unique<crnet::Link>(bed.engine());
+    viewer->control = std::make_unique<crnet::ControlClient>(
+        bed.engine(), service, &control_forward, &control_reverse,
+        crnet::ControlClient::Options{.client_id = static_cast<std::uint64_t>(i + 1)});
+    const crmedia::MediaFile& movie =
+        movies[viewer->grouped ? 0 : static_cast<std::size_t>(1 + i - kGroupedViewers)];
+    const crbase::Duration open_at = Milliseconds(120) * i;
+    tasks.push_back(bed.kernel.Spawn(
+        "viewer" + std::to_string(i), crrt::kPriorityClient,
+        [&, viewer, open_at](crrt::ThreadContext& ctx) -> crsim::Task {
+          co_await ctx.Sleep(open_at);
+          cras::OpenParams params;
+          params.inode = movie.inode;
+          params.index = movie.index;
+          params.grouped = viewer->grouped;
+          auto opened = co_await viewer->control->Open(std::move(params));
+          CRAS_CHECK(opened.ok()) << opened.status().ToString();
+          viewer->session = *opened;
+          crnet::LeaseClient::Options lease_options;
+          lease_options.period = Milliseconds(100);
+          viewer->lease = std::make_unique<crnet::LeaseClient>(
+              bed.kernel, bed.cras_server, heartbeat, viewer->session, lease_options);
+          tasks.push_back(viewer->lease->Start());
+          const crbase::Duration delay = bed.cras_server.SuggestedInitialDelay();
+          cras::LogicalClock* clock = nullptr;
+          if (viewer->grouped) {
+            viewer->group_receiver =
+                std::make_unique<crmcast::GroupReceiver>(bed.kernel, &movie.index);
+            group_sender.AddMember(viewer->session, *viewer->group_receiver);
+            viewer->group_receiver->ConnectReverse(*viewer->reverse, group_sender,
+                                                   viewer->session);
+            tasks.push_back(viewer->group_receiver->Start());
+            clock = &viewer->group_receiver->clock();
+          } else {
+            viewer->nps_receiver = std::make_unique<crnet::NpsReceiver>(bed.kernel);
+            viewer->nps_sender = std::make_unique<crnet::NpsSender>(
+                bed.kernel, bed.cras_server, forward, *viewer->nps_receiver);
+            viewer->nps_receiver->ConnectReverse(*viewer->reverse, *viewer->nps_sender);
+            clock = &viewer->nps_receiver->clock();
+          }
+          CRAS_CHECK(
+              (co_await viewer->control->StartStream(viewer->session, delay)).ok());
+          if (!viewer->grouped) {
+            tasks.push_back(viewer->nps_sender->Start(viewer->session, &movie.index));
+          }
+          const crbase::Duration playout = delay + Milliseconds(200);
+          clock->Start(playout);
+          co_await ctx.Sleep(playout);
+          for (const crmedia::Chunk& chunk : movie.index.chunks()) {
+            if (viewer->crashed) {
+              break;
+            }
+            while (clock->Now() < chunk.timestamp) {
+              co_await ctx.Sleep(Milliseconds(2));
+            }
+            if (viewer->crashed) {
+              break;
+            }
+            const bool resident =
+                viewer->grouped ? viewer->group_receiver->Get(chunk.timestamp).has_value()
+                                : viewer->nps_receiver->Get(chunk.timestamp).has_value();
+            if (resident) {
+              ++viewer->frames_ok;
+            } else {
+              ++viewer->frames_missed;
+              ++frames_missed_total;
+              if (first_miss_at < 0) {
+                first_miss_at = bed.Now();
+              }
+            }
+          }
+          if (viewer->group_receiver != nullptr) {
+            viewer->group_receiver->Stop();
+          }
+          if (viewer->crashed) {
+            co_return;  // no Close, no more heartbeats: the reaper's problem
+          }
+          viewer->lease->Stop();
+          viewer->closed = (co_await viewer->control->Close(viewer->session)).ok();
+        }));
+  }
+
+  // Let the first grouped open land and found the group, then start its feed.
+  bed.engine().RunFor(Milliseconds(100));
+  crmcast::GroupManager* manager = bed.cras_server.mcast_groups();
+  CRAS_CHECK(manager != nullptr);
+  CRAS_CHECK(fleet[0].session != cras::kInvalidSession);
+  const crmcast::GroupId group = manager->GroupOf(fleet[0].session);
+  CRAS_CHECK(group != crmcast::kNoGroup);
+  tasks.push_back(group_sender.Start(group, &movies[0].index));
+
+  crchaos::ChaosConfig config;
+  config.seed = seed;
+  config.intensity = intensity;
+  config.disks = 4;
+  config.clients = kViewers;
+  crfault::FaultPlan plan = crchaos::GenerateChaosSchedule(config);
+  if (merge_plan != nullptr) {
+    plan.Merge(*merge_plan);
+  }
+
+  CampaignResult result;
+  result.seed = seed;
+  result.plan_events = plan.events().size();
+
+  crfault::FaultInjector injector(bed.engine(), &bed.volume, {&forward}, plan);
+  injector.SetControlLinks({&control_forward, &control_reverse, &heartbeat});
+  injector.SetClientCrashHandler([&fleet, &result](int client) {
+    SoakViewer& viewer = fleet[static_cast<std::size_t>(client)];
+    viewer.crashed = true;
+    ++result.crashes;
+    if (viewer.lease != nullptr) {
+      viewer.lease->Stop();  // the crash also kills the heartbeat generator
+    }
+  });
+  injector.AttachObs(&bed.hub);
+  injector.Arm();
+
+  bed.engine().RunFor(kRunLength);
+  result.events_fired = injector.events_fired();
+
+  crchaos::AuditInput input;
+  input.hub = &bed.hub;
+  input.server = &bed.cras_server;
+  input.parity = true;
+  input.frames_missed = frames_missed_total;
+  input.first_miss_at = first_miss_at;
+  for (const SoakViewer& viewer : fleet) {
+    // A viewer whose Close never landed (crash, or a Close that exhausted
+    // its retries inside a control blackout) abandoned the session; the
+    // lease reaper must have collected it.
+    crchaos::SessionFate fate;
+    fate.id = viewer.session;
+    fate.closed = viewer.closed;
+    fate.crashed = viewer.crashed || !viewer.closed;
+    input.fates.push_back(fate);
+    result.frames_ok += viewer.frames_ok;
+    result.frames_missed += viewer.frames_missed;
+    result.control_retries += viewer.control->stats().retries;
+  }
+
+  const crchaos::AuditReport report = crchaos::AuditRun(input);
+  result.recovery_ms = report.recovery_latencies_ms;
+  result.violations = report.violations;
+  result.dumped = crchaos::DumpIfViolated(bed.hub, report, dump_path);
+  return result;
+}
+
+std::string ViolationSlugs(const CampaignResult& result) {
+  std::string slugs;
+  for (const crchaos::Violation& violation : result.violations) {
+    slugs += (slugs.empty() ? "" : ",") + violation.invariant;
+  }
+  return slugs.empty() ? "-" : slugs;
+}
+
+void WriteJson(const std::string& path, const std::vector<CampaignResult>& runs,
+               double intensity, const std::vector<double>& recovery,
+               const CampaignResult& demo, const std::string& demo_dump) {
+  std::ofstream out(path);
+  CRAS_CHECK(out.good()) << "cannot write " << path;
+  out << "{\n"
+      << "  \"bench\": \"chaos_soak\",\n"
+      << "  \"rig\": \"4-disk parity, cache+mcast, 3 grouped + 3 unicast viewers, "
+         "control plane + leases over impaired links\",\n"
+      << "  \"intensity\": " << intensity << ",\n"
+      << "  \"seeds\": " << runs.size() << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CampaignResult& run = runs[i];
+    out << "    {\"seed\": " << run.seed << ", \"plan_events\": " << run.plan_events
+        << ", \"events_fired\": " << run.events_fired << ", \"crashes\": " << run.crashes
+        << ", \"frames_ok\": " << run.frames_ok
+        << ", \"frames_missed\": " << run.frames_missed
+        << ", \"control_retries\": " << run.control_retries
+        << ", \"recovery_samples\": " << run.recovery_ms.size() << ", \"violations\": [";
+    for (std::size_t v = 0; v < run.violations.size(); ++v) {
+      out << (v > 0 ? ", " : "") << "\"" << run.violations[v].invariant << "\"";
+    }
+    out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"recovery_latency_ms\": {\"count\": " << recovery.size()
+      << ", \"p50\": " << crchaos::Percentile(recovery, 50)
+      << ", \"p95\": " << crchaos::Percentile(recovery, 95)
+      << ", \"p99\": " << crchaos::Percentile(recovery, 99)
+      << ", \"max\": " << crchaos::Percentile(recovery, 100) << "},\n"
+      << "  \"double_fault_demo\": {\"seed\": " << demo.seed << ", \"violations\": [";
+  for (std::size_t v = 0; v < demo.violations.size(); ++v) {
+    out << (v > 0 ? ", " : "") << "\"" << demo.violations[v].invariant << "\"";
+  }
+  out << "], \"dumped\": " << (demo.dumped ? "true" : "false") << ", \"dump\": \""
+      << demo_dump << "\"}\n"
+      << "}\n";
+}
+
+std::int64_t IntFlag(int argc, char** argv, const std::string& prefix,
+                     std::int64_t fallback) {
+  const std::string value = crbench::FlagValue(argc, argv, prefix);
+  return value.empty() ? fallback : std::stoll(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  const std::int64_t seeds = IntFlag(argc, argv, "--seeds=", 25);
+  const std::uint64_t seed_base =
+      static_cast<std::uint64_t>(IntFlag(argc, argv, "--seed-base=", 1));
+  const std::string intensity_flag = crbench::FlagValue(argc, argv, "--intensity=");
+  const double intensity = intensity_flag.empty() ? 1.0 : std::stod(intensity_flag);
+  std::string json_path = crbench::FlagValue(argc, argv, "--out=");
+  if (json_path.empty()) {
+    json_path = "BENCH_chaos_soak.json";
+  }
+
+  crstats::PrintBanner("Chaos soak: seeded campaigns, cross-layer invariant audit");
+  crstats::Table table({"seed", "events", "fired", "crashes", "frames_ok", "missed",
+                        "ctl_retries", "recov_n", "violations"});
+  table.SetCsv(csv);
+
+  std::vector<CampaignResult> runs;
+  std::vector<double> recovery;
+  int violated_seeds = 0;
+  for (std::int64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    const std::string dump_path =
+        "chaos_soak_dump_seed" + std::to_string(seed) + ".json";
+    CampaignResult run = RunCampaign(seed, intensity, nullptr, dump_path);
+    table.Cell(static_cast<std::int64_t>(run.seed))
+        .Cell(static_cast<std::int64_t>(run.plan_events))
+        .Cell(run.events_fired)
+        .Cell(static_cast<std::int64_t>(run.crashes))
+        .Cell(run.frames_ok)
+        .Cell(run.frames_missed)
+        .Cell(run.control_retries)
+        .Cell(static_cast<std::int64_t>(run.recovery_ms.size()))
+        .Cell(ViolationSlugs(run));
+    table.EndRow();
+    recovery.insert(recovery.end(), run.recovery_ms.begin(), run.recovery_ms.end());
+    violated_seeds += run.violations.empty() ? 0 : 1;
+    if (run.dumped) {
+      std::fprintf(stderr, "seed %llu violated invariants; flight dump: %s\n",
+                   static_cast<unsigned long long>(run.seed), dump_path.c_str());
+    }
+    runs.push_back(std::move(run));
+  }
+  table.Print();
+
+  std::printf("\nrecovery latency (fault -> re-settled admission), %zu samples: "
+              "p50=%.1f ms  p95=%.1f ms  p99=%.1f ms  max=%.1f ms\n",
+              recovery.size(), crchaos::Percentile(recovery, 50),
+              crchaos::Percentile(recovery, 95), crchaos::Percentile(recovery, 99),
+              crchaos::Percentile(recovery, 100));
+
+  // The deliberate double-fault demo: two parity members down at once, the
+  // envelope the generator refuses to produce, merged into a generated
+  // schedule. The auditor must flag it and dump the flight recorder — a
+  // clean sweep above only counts if the auditor demonstrably bites.
+  crfault::FaultPlan double_fault;
+  double_fault.FailStop(Seconds(6), 0)
+      .FailStop(Milliseconds(6500), 1)
+      .Recover(Seconds(9), 0)
+      .Recover(Milliseconds(9500), 1);
+  const std::string demo_dump = "BENCH_chaos_soak_double_fault_dump.json";
+  const CampaignResult demo =
+      RunCampaign(seed_base, intensity, &double_fault, demo_dump);
+  bool demo_flagged = false;
+  for (const crchaos::Violation& violation : demo.violations) {
+    demo_flagged |= violation.invariant == "unrecoverable_double_fault";
+  }
+  CRAS_CHECK(demo_flagged)
+      << "the deliberate double fault was not flagged: " << ViolationSlugs(demo);
+  CRAS_CHECK(demo.dumped) << "the flagged demo run did not dump the flight recorder";
+  std::printf("double-fault demo (seed %llu): flagged [%s], flight dump %s\n",
+              static_cast<unsigned long long>(seed_base), ViolationSlugs(demo).c_str(),
+              demo_dump.c_str());
+
+  CRAS_CHECK(violated_seeds == 0)
+      << violated_seeds << " of " << seeds << " campaigns violated invariants";
+  CRAS_CHECK(!recovery.empty()) << "no disk fault ever re-settled admission";
+  std::printf("%lld campaigns (seeds %llu..%llu, intensity %.2f): zero invariant "
+              "violations, zero wedged sessions (checks passed).\n",
+              static_cast<long long>(seeds), static_cast<unsigned long long>(seed_base),
+              static_cast<unsigned long long>(seed_base + static_cast<std::uint64_t>(seeds) - 1),
+              intensity);
+
+  WriteJson(json_path, runs, intensity, recovery, demo, demo_dump);
+  std::printf("Wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

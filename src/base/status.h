@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted, // admission test failed, disk full, buffer budget spent
   kFailedPrecondition,// operation not valid in the current state
   kOutOfRange,        // offset past EOF, bad block index
+  kDeadlineExceeded,  // retries exhausted on an impaired control path
   kUnimplemented,
   kInternal,
 };
@@ -65,6 +66,9 @@ inline Status FailedPreconditionError(std::string m) {
   return Status(StatusCode::kFailedPrecondition, std::move(m));
 }
 inline Status OutOfRangeError(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+inline Status DeadlineExceededError(std::string m) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(m));
+}
 inline Status InternalError(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
 inline Status UnimplementedError(std::string m) {
   return Status(StatusCode::kUnimplemented, std::move(m));

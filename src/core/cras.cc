@@ -1051,6 +1051,7 @@ void CrasServer::ApplyMemberChange(const MemberChange& change) {
 }
 
 void CrasServer::ShedUntilAdmissible() {
+  const std::int64_t shed_before = stats_.streams_shed;
   // Sheds one victim per round, re-evaluating between rounds: with the
   // cache on, closing a victim can change other streams' serving classes
   // (an orphaned follower falls back to disk), so a precomputed victim list
@@ -1118,6 +1119,13 @@ void CrasServer::ShedUntilAdmissible() {
   cache_fallback_pending_ = false;
   if (obs_ != nullptr) {
     obs_->streams_kept->Set(static_cast<double>(sessions_.size()));
+    // The admission settle is complete: whatever disturbance brought us
+    // here (member change, cache fallback, group demote), the surviving set
+    // passes the current model again. The auditor measures recovery latency
+    // as fault -> this event.
+    obs_->hub->flight().Record(crobs::FlightEventKind::kResettled,
+                               static_cast<std::int64_t>(sessions_.size()),
+                               stats_.streams_shed - shed_before);
   }
 }
 

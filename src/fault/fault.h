@@ -29,6 +29,18 @@
 //   link-derate     — serialization bandwidth divided by a factor;
 //   link-recover    — back to a perfect link.
 //
+// Client and control-plane events (the chaos-campaign vocabulary):
+//
+//   client-crash    — abrupt viewer death: the registered crash handler is
+//                     invoked with the client index. The client never sends
+//                     another heartbeat or a Close, so the server's lease
+//                     reaper (and the mcast member-left path) must reclaim
+//                     everything it held.
+//   control-drop    — the *control* links (SetControlLinks) start losing
+//                     and duplicating packets: lost and replayed control
+//                     RPCs, the idempotency/retry hazard.
+//   control-recover — control links back to perfect.
+//
 // The injector carries no thread of its own — events ride the simulation
 // engine's queue — and is safe to destroy before or after they fire
 // (pending events are cancelled on destruction).
@@ -37,6 +49,7 @@
 #define SRC_FAULT_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,23 +76,32 @@ enum class FaultKind {
   kLinkJitter,
   kLinkDerate,
   kLinkRecover,
+  kClientCrash,
+  kControlDrop,
+  kControlRecover,
 };
 
 const char* FaultKindName(FaultKind kind);
 // True for the kinds applied to a link rather than a member disk.
 bool IsLinkFault(FaultKind kind);
+// True for the kinds applied to the control links.
+bool IsControlFault(FaultKind kind);
+// True for kClientCrash (needs a registered crash handler).
+bool IsClientFault(FaultKind kind);
 
 struct FaultEvent {
   Time at = 0;  // absolute simulation time
-  int disk = 0;  // disk events only
+  int disk = 0;  // disk events: member disk; kClientCrash: client index
   FaultKind kind = FaultKind::kFailStop;
   // kTransient:
   Duration extra_latency = 0;
   int request_count = 0;
   // kSlowDisk / kLinkDerate:
   double throughput_derating = 1.0;
-  // kLinkLoss / kLinkBurstLoss:
+  // kLinkLoss / kLinkBurstLoss / kControlDrop:
   double loss_probability = 0.0;
+  // kControlDrop: probability a delivered control packet is replayed.
+  double duplicate_probability = 0.0;
   double ge_p_enter_bad = 0.0;
   double ge_p_exit_bad = 0.0;
   double ge_loss_bad = 1.0;
@@ -107,13 +129,34 @@ class FaultPlan {
                         Duration reorder_delay = 0);
   FaultPlan& LinkDerate(Time at, double factor);
   FaultPlan& LinkRecover(Time at);
+  FaultPlan& ClientCrash(Time at, int client);
+  FaultPlan& ControlDrop(Time at, double loss_probability, double duplicate_probability);
+  FaultPlan& ControlRecover(Time at);
   FaultPlan& Add(const FaultEvent& event);
+
+  // Appends every event of `other` — composed chaos schedules splice
+  // hand-written plans into generated ones. Order is irrelevant: each event
+  // is scheduled independently at its own timestamp.
+  FaultPlan& Merge(const FaultPlan& other);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
 
-  // Parses the bench-flag spec "<disk>@<t_ms>" (e.g. "1@2000": fail-stop
-  // member 1 at t = 2 s) into a kFailStop event.
+  // Parses the bench-flag spec "<kind>:<args>@<t_ms>" into one event, so
+  // any bench can script any fault from the CLI:
+  //
+  //   fail_stop:1@2000            transient:1,800,3@2000
+  //   slow_disk:1,2.0@2000        recover:1@8000
+  //   link_loss:0.01@3000         link_burst_loss:0.005,0.3,0.5@3000
+  //   link_jitter:20,0.1,5@3000   link_derate:2.0@3000
+  //   link_recover@8000           client_crash:2@4000
+  //   control_drop:0.2,0.1@3000   control_recover@8000
+  //
+  // Numeric args follow each builder's parameter order; durations are in
+  // milliseconds. The pre-chaos form "<disk>@<t_ms>" (e.g. "1@2000") still
+  // parses as a fail-stop of that member.
+  static crbase::Result<FaultEvent> ParseSpec(const std::string& spec);
+  // Alias for the legacy call sites; accepts the full ParseSpec grammar.
   static crbase::Result<FaultEvent> ParseFailStopSpec(const std::string& spec);
 
  private:
@@ -127,6 +170,11 @@ class FaultPlan {
 // least one link. With several links — e.g. the shared forward link of a
 // multicast delivery group plus its members' reverse links — every link
 // event applies to all of them, so one script degrades the whole path.
+// Control events target the SetControlLinks set (falling back to the data
+// links when none is registered); client-crash events invoke the handler
+// registered with SetClientCrashHandler. An event whose timestamp is
+// already past when Arm() runs fires immediately — a merged plan armed
+// mid-run loses nothing.
 class FaultInjector {
  public:
   FaultInjector(crsim::Engine& engine, crvol::Volume& volume, FaultPlan plan);
@@ -143,6 +191,16 @@ class FaultInjector {
   bool armed() const { return armed_; }
   std::int64_t events_fired() const { return fired_; }
 
+  // Registers the target of kClientCrash events: called with the event's
+  // client index. Must be set before Arm() if the plan crashes clients.
+  void SetClientCrashHandler(std::function<void(int)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+  // Registers the links control events apply to (the request/reply path of
+  // crnet::ControlService). Without this, control events fall back to the
+  // data links.
+  void SetControlLinks(std::vector<crnet::Link*> links);
+
   // Registers a counter of injected events keyed {kind, target} and an
   // instant per event on the "fault" trace track.
   void AttachObs(crobs::Hub* hub);
@@ -154,10 +212,17 @@ class FaultInjector {
   };
 
   void Apply(const FaultEvent& event);
+  // Links a control event applies to: the registered control links, or the
+  // data links when none were registered.
+  const std::vector<crnet::Link*>& ControlTargets() const {
+    return control_links_.empty() ? links_ : control_links_;
+  }
 
   crsim::Engine* engine_;
   crvol::Volume* volume_;
   std::vector<crnet::Link*> links_;
+  std::vector<crnet::Link*> control_links_;
+  std::function<void(int)> crash_handler_;
   FaultPlan plan_;
   bool armed_ = false;
   std::int64_t fired_ = 0;

@@ -97,6 +97,13 @@ void Link::SetReordering(double probability, Duration delay) {
   impairments_.reorder_delay = delay;
 }
 
+void Link::SetDuplication(double probability, Duration delay) {
+  CRAS_CHECK(probability >= 0.0 && probability <= 1.0);
+  CRAS_CHECK(delay >= 0);
+  impairments_.duplicate_probability = probability;
+  impairments_.duplicate_delay = delay;
+}
+
 void Link::SetBandwidthDerating(double factor) {
   CRAS_CHECK(factor >= 1.0);
   impairments_.bandwidth_derating = factor;
@@ -193,6 +200,20 @@ void Link::StartTransmit() {
 }
 
 void Link::DeliverOne(std::int64_t bytes, std::function<void()> deliver, bool multicast) {
+  // Duplication: the receiver sees the same unicast packet again shortly
+  // after the original — drawn here so the copy shares the original's
+  // jitter fate and costs no extra wire time (the bits only went out once;
+  // the switch replayed them).
+  if (!multicast && impairments_.duplicate_probability > 0.0 &&
+      rng_.NextDouble() < impairments_.duplicate_probability) {
+    engine_->ScheduleAfter(
+        options_.propagation_delay + impairments_.duplicate_delay, [this, deliver] {
+          ++stats_.duplicate_deliveries;
+          if (deliver) {
+            deliver();
+          }
+        });
+  }
   engine_->ScheduleAfter(options_.propagation_delay + DrawExtraDelay(),
                          [this, bytes, multicast, deliver = std::move(deliver)] {
                            if (multicast) {

@@ -65,6 +65,9 @@ struct LinkStats {
   std::int64_t mcast_packets_sent = 0;
   std::int64_t mcast_deliveries = 0;
   std::int64_t mcast_receiver_drops = 0;
+  // Extra deliveries manufactured by the duplication impairment (not
+  // included in packets_delivered, so sent = delivered + dropped holds).
+  std::int64_t duplicate_deliveries = 0;
   Duration busy_time = 0;
   std::size_t max_queue_depth = 0;
 };
@@ -87,12 +90,19 @@ struct LinkImpairments {
   // reorder_delay past its (jittered) arrival time.
   double reorder_probability = 0.0;
   Duration reorder_delay = 0;
+  // With probability duplicate_probability, a delivered unicast packet is
+  // delivered a second time, `duplicate_delay` after the original — a
+  // misbehaving switch or a retransmission the first copy of which was not
+  // actually lost. The idempotency hazard for control RPCs.
+  double duplicate_probability = 0.0;
+  Duration duplicate_delay = crbase::Milliseconds(2);
   // Serialization bandwidth divided by this factor (>= 1).
   double bandwidth_derating = 1.0;
 
   bool perfect() const {
     return loss_probability == 0.0 && !gilbert_elliott && jitter == 0 &&
-           reorder_probability == 0.0 && bandwidth_derating == 1.0;
+           reorder_probability == 0.0 && duplicate_probability == 0.0 &&
+           bandwidth_derating == 1.0;
   }
 };
 
@@ -137,6 +147,8 @@ class Link {
   void SetBurstLoss(double p_enter_bad, double p_exit_bad, double loss_bad);
   void SetJitter(Duration jitter);
   void SetReordering(double probability, Duration delay);
+  // Duplicated *deliveries*: the receiver sees some unicast packets twice.
+  void SetDuplication(double probability, Duration delay = crbase::Milliseconds(2));
   void SetBandwidthDerating(double factor);
   // Back to a perfect link (the Gilbert–Elliott chain also resets to good).
   void ClearImpairments();

@@ -43,6 +43,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "repair_sent";
     case FlightEventKind::kRepairDecodeFailed:
       return "repair_decode_failed";
+    case FlightEventKind::kResettled:
+      return "resettled";
   }
   return "unknown";
 }

@@ -1,12 +1,16 @@
-// Robustness: failure injection (transient disk stalls) and the §2.6
-// multiple-servers configuration.
+// Robustness: failure injection (transient disk stalls), the §2.6
+// multiple-servers configuration, and overlapping cross-layer faults (a
+// member fail-stop landing inside a network burst-loss window).
 
 #include <gtest/gtest.h>
 
 #include "src/base/bytes.h"
 #include "src/core/player.h"
 #include "src/core/testbed.h"
+#include "src/fault/fault.h"
 #include "src/media/media_file.h"
+#include "src/net/link.h"
+#include "src/net/nps.h"
 
 namespace cras {
 namespace {
@@ -142,6 +146,106 @@ TEST(MultipleServers, UncoordinatedAdmissionCanOversubscribe) {
   EXPECT_GT(missed + bed.cras_server.stats().deadline_misses + second.stats().deadline_misses,
             0)
       << "oversubscription should be observable";
+}
+
+TEST(OverlappingFaults, FailStopDuringBurstLossServesOrShedsNeverWedges) {
+  // Two layers fail at once: the wire enters a Gilbert-Elliott burst-loss
+  // regime at 3 s, and while the bursts are still running a parity member
+  // fail-stops at 4 s. The NAK repair path and the degraded-read
+  // reconstruction path are both on the same clock; the stream must either
+  // keep playing (repair + reconstruction) or be shed — never wedge, never
+  // miss silently after both faults clear.
+  VolumeTestbedOptions options;
+  options.volume.disks = 4;
+  options.volume.parity = true;
+  VolumeTestbed bed(options);
+  bed.StartServers();
+  const auto movie = *crmedia::WriteMpeg1File(bed.fs, "movie", Seconds(10));
+
+  crrt::Kernel client_host(bed.engine(), crrt::Kernel::Options{});
+  crnet::Link forward(bed.engine());
+  crnet::Link reverse(bed.engine());
+  crnet::NpsReceiver receiver(client_host);
+  crnet::NpsSender sender(bed.kernel, bed.cras_server, forward, receiver);
+  receiver.ConnectReverse(reverse, sender);
+
+  crfault::FaultPlan plan;
+  plan.LinkBurstLoss(Seconds(3), /*p_enter_bad=*/0.05, /*p_exit_bad=*/0.3,
+                     /*loss_bad=*/0.9)
+      .FailStop(Seconds(4), 1)
+      .Recover(Seconds(6), 1)
+      .LinkRecover(Seconds(7));
+  crfault::FaultInjector injector(bed.engine(), &bed.volume, {&forward}, plan);
+  injector.AttachObs(&bed.hub);
+  injector.Arm();
+
+  cras::SessionId session = cras::kInvalidSession;
+  std::int64_t frames_ok = 0;
+  std::int64_t frames_missing = 0;
+  crsim::Task opener = bed.kernel.Spawn(
+      "qtserver", crrt::kPriorityClient, [&](crrt::ThreadContext&) -> crsim::Task {
+        OpenParams params;
+        params.inode = movie.inode;
+        params.index = movie.index;
+        auto opened = co_await bed.cras_server.Open(std::move(params));
+        CRAS_CHECK(opened.ok());
+        session = *opened;
+        (void)co_await bed.cras_server.StartStream(
+            session, bed.cras_server.SuggestedInitialDelay());
+      });
+  bed.engine().RunFor(Milliseconds(50));
+  ASSERT_NE(session, kInvalidSession);
+  crsim::Task sender_task = sender.Start(session, &movie.index);
+  crsim::Task player = client_host.Spawn(
+      "qtclient", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        const crbase::Duration delay =
+            bed.cras_server.SuggestedInitialDelay() + Milliseconds(200);
+        receiver.clock().Start(delay);
+        co_await ctx.Sleep(delay);
+        for (const crmedia::Chunk& chunk : movie.index.chunks()) {
+          while (receiver.clock().Now() < chunk.timestamp) {
+            co_await ctx.Sleep(Milliseconds(2));
+          }
+          if (receiver.Get(chunk.timestamp).has_value()) {
+            ++frames_ok;
+          } else {
+            ++frames_missing;
+          }
+        }
+      });
+  bed.engine().RunFor(Seconds(16));
+
+  ASSERT_EQ(injector.events_fired(), 4);
+  // The faults genuinely overlapped: the member went down while the burst
+  // regime was active (3 s..7 s vs 4 s..6 s).
+  EXPECT_EQ(bed.volume.member_state(1), crvol::MemberState::kHealthy)
+      << "recovery landed";
+  if (bed.cras_server.WasShed(session)) {
+    // Admission decided the degraded volume could not carry the stream:
+    // a legitimate terminal state, visible, never silent.
+    EXPECT_GT(bed.cras_server.stats().streams_shed, 0);
+  } else {
+    // Carried through both faults: every frame accounted for, and losses
+    // confined to the disturbance — the tail after recovery plays clean.
+    EXPECT_EQ(frames_ok + frames_missing,
+              static_cast<std::int64_t>(movie.index.count()));
+    EXPECT_GT(frames_ok, static_cast<std::int64_t>(movie.index.count()) / 2);
+    EXPECT_LT(frames_missing, static_cast<std::int64_t>(movie.index.count()) / 4);
+  }
+  // The repair machinery really ran against the burst.
+  EXPECT_GT(forward.stats().wire_drops, 0);
+  EXPECT_GT(receiver.stats().naks_sent, 0);
+  // Both injected faults are on the record for the autopsy.
+  bool saw_burst = false;
+  bool saw_fail_stop = false;
+  for (const crobs::FlightEvent& event : bed.hub.flight().events()) {
+    if (event.kind == crobs::FlightEventKind::kFaultInjected) {
+      saw_burst |= event.detail == "link_burst_loss";
+      saw_fail_stop |= event.detail == "fail_stop";
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_fail_stop);
 }
 
 }  // namespace

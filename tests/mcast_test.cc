@@ -411,6 +411,105 @@ TEST(McastIntegration, ReceiverPastRepairWindowDemotesAndResettles) {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos overlap: the other member crashes while a demote is re-settling.
+
+TEST(McastIntegration, ClientCrashDuringDemoteResettleConservesMembership) {
+  // B falls behind the repair window and is demoted to unicast; while that
+  // re-settle is still fresh, A — the group's only other member — crashes
+  // abruptly (no Close, heartbeats just stop). The lease reaper must
+  // collect A, the group must dissolve with joins == leaves, and B must
+  // still complete every frame via unicast disk service.
+  cras::TestbedOptions options = GroupedTestbedOptions();
+  options.cras.lease_period = Milliseconds(300);
+  cras::Testbed bed(options);
+  bed.StartServers();
+  const auto movie = *crmedia::WriteMpeg1File(bed.fs, "hot", Seconds(10));
+  crnet::Link::Options forward_options;
+  forward_options.bandwidth_bytes_per_sec = 12.5e6;
+  crnet::Link forward(bed.engine(), forward_options);
+  GroupSender::Options sender_options;
+  sender_options.repair_window_chunks = 4;
+  GroupSender sender(bed.kernel, bed.cras_server, forward, sender_options);
+  sender.AttachObs(&bed.hub, "g1");
+
+  Viewer a, b;
+  std::vector<crsim::Task> tasks;
+  SpawnViewer(bed, sender, forward, movie, /*open_at=*/0, /*extra_delay=*/0, &a, &tasks);
+  SpawnViewer(bed, sender, forward, movie, /*open_at=*/Milliseconds(20),
+              /*extra_delay=*/Seconds(5), &b, &tasks);
+  bed.engine().RunFor(Milliseconds(100));
+  ASSERT_NE(a.session, cras::kInvalidSession);
+  ASSERT_NE(b.session, cras::kInvalidSession);
+  GroupManager* mgr = bed.cras_server.mcast_groups();
+  const GroupId group = mgr->GroupOf(a.session);
+  ASSERT_EQ(mgr->GroupOf(b.session), group);
+  tasks.push_back(sender.Start(group, &movie.index));
+
+  // Leases: both viewers heartbeat until told otherwise.
+  crnet::Link heartbeat_link(bed.engine());
+  crnet::LeaseClient::Options hb;
+  hb.period = Milliseconds(100);
+  std::vector<std::unique_ptr<crnet::LeaseClient>> leases;
+  leases.push_back(std::make_unique<crnet::LeaseClient>(
+      bed.kernel, bed.cras_server, heartbeat_link, a.session, hb));
+  leases.push_back(std::make_unique<crnet::LeaseClient>(
+      bed.kernel, bed.cras_server, heartbeat_link, b.session, hb));
+  tasks.push_back(leases[0]->Start());
+  tasks.push_back(leases[1]->Start());
+
+  // The crash is scripted like any other fault: the handler kills the
+  // client's heartbeat generator — no Close is ever sent.
+  crfault::FaultPlan plan;
+  plan.ClientCrash(Seconds(4) + Milliseconds(10), /*client=*/0);
+  crfault::FaultInjector injector(bed.engine(), /*volume=*/nullptr,
+                                  std::vector<crnet::Link*>{}, plan);
+  injector.SetClientCrashHandler(
+      [&leases](int client) { leases[static_cast<std::size_t>(client)]->Stop(); });
+  injector.AttachObs(&bed.hub);
+  injector.Arm();
+
+  // Demote B (stale loss report) at 4 s; A's crash lands 10 ms later, while
+  // the demote's re-settle is the freshest admission state.
+  bed.engine().RunFor(Seconds(4) - Milliseconds(100));
+  ASSERT_GT(sender.stats().chunks_multicast, 4);
+  LossReport report;
+  report.member = b.session;
+  report.entries.push_back(LossReportEntry{0, {}});
+  sender.OnLossReport(report);
+  bed.engine().RunFor(Seconds(16));
+
+  ASSERT_EQ(injector.events_fired(), 1);
+  EXPECT_EQ(sender.stats().members_demoted, 1);
+  EXPECT_EQ(mgr->GroupOf(b.session), kNoGroup);
+  // A was collected by the reaper, not closed.
+  EXPECT_TRUE(bed.cras_server.WasReaped(a.session));
+  EXPECT_FALSE(bed.cras_server.HasSession(a.session));
+  // Membership conservation under churn: every join has a matching leave
+  // (B's demotion + A's reap), and no group survives its members.
+  EXPECT_EQ(mgr->stats().members_joined, mgr->stats().members_left);
+  EXPECT_EQ(mgr->stats().groups_formed, mgr->stats().groups_dissolved);
+  EXPECT_EQ(mgr->group_count(), 0u);
+  // B was never silently missed: demoted mid-crash, it still completes.
+  EXPECT_EQ(b.frames_missed, 0);
+  EXPECT_EQ(b.frames_ok, static_cast<std::int64_t>(movie.index.count()));
+  // The causal chain is on the record: crash -> reap, demote -> group-left.
+  bool saw_crash = false;
+  bool saw_reap = false;
+  bool saw_demote = false;
+  for (const crobs::FlightEvent& event : bed.hub.flight().events()) {
+    saw_crash |= event.kind == crobs::FlightEventKind::kFaultInjected &&
+                 event.detail == "client_crash";
+    saw_reap |= event.kind == crobs::FlightEventKind::kLeaseReap &&
+                event.a == static_cast<std::int64_t>(a.session);
+    saw_demote |= event.kind == crobs::FlightEventKind::kGroupLeft &&
+                  event.detail == "behind_window";
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_reap);
+  EXPECT_TRUE(saw_demote);
+}
+
+// ---------------------------------------------------------------------------
 // Fault scripting against grouped links: one plan degrades every link.
 
 TEST(FaultInjection, MultiLinkPlanAppliesToEveryLink) {
