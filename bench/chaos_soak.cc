@@ -83,12 +83,20 @@ struct CampaignResult {
   std::vector<double> recovery_ms;
   std::vector<crchaos::Violation> violations;
   bool dumped = false;
+  // Flight-ring honesty: whether the audit saw a truncated event ring, and
+  // how many events the ring overwrote during the campaign.
+  bool ring_truncated = false;
+  std::int64_t flight_dropped = 0;
 };
 
 cras::VolumeTestbedOptions RigOptions() {
   cras::VolumeTestbedOptions options;
   options.volume.disks = 4;
   options.volume.parity = true;
+  // Frame tracing + SLO watchdog stay on during chaos so the auditor's
+  // attribution-conservation invariant is exercised under faults.
+  options.obs.frames.enabled = true;
+  options.obs.slo.enabled = true;
   options.cras.memory_budget_bytes = 64 * crbase::kMiB;
   options.cras.cache.enabled = true;
   options.cras.cache.pin_min_score = 0.5;
@@ -283,6 +291,14 @@ CampaignResult RunCampaign(std::uint64_t seed, double intensity,
   const crchaos::AuditReport report = crchaos::AuditRun(input);
   result.recovery_ms = report.recovery_latencies_ms;
   result.violations = report.violations;
+  result.ring_truncated = report.ring_truncated;
+  result.flight_dropped = bed.hub.flight().dropped();
+  // An audit that silently ran over a truncated flight ring would vouch for
+  // evidence it never saw: the report must flag truncation exactly when the
+  // ring actually overwrote events.
+  CRAS_CHECK(result.ring_truncated == (result.flight_dropped > 0))
+      << "seed " << seed << ": audit ring_truncated=" << result.ring_truncated
+      << " but flight ring dropped " << result.flight_dropped << " events";
   result.dumped = crchaos::DumpIfViolated(bed.hub, report, dump_path);
   return result;
 }
@@ -314,7 +330,9 @@ void WriteJson(const std::string& path, const std::vector<CampaignResult>& runs,
         << ", \"frames_ok\": " << run.frames_ok
         << ", \"frames_missed\": " << run.frames_missed
         << ", \"control_retries\": " << run.control_retries
-        << ", \"recovery_samples\": " << run.recovery_ms.size() << ", \"violations\": [";
+        << ", \"recovery_samples\": " << run.recovery_ms.size()
+        << ", \"ring_truncated\": " << (run.ring_truncated ? "true" : "false")
+        << ", \"flight_dropped\": " << run.flight_dropped << ", \"violations\": [";
     for (std::size_t v = 0; v < run.violations.size(); ++v) {
       out << (v > 0 ? ", " : "") << "\"" << run.violations[v].invariant << "\"";
     }
@@ -357,7 +375,7 @@ int main(int argc, char** argv) {
 
   crstats::PrintBanner("Chaos soak: seeded campaigns, cross-layer invariant audit");
   crstats::Table table({"seed", "events", "fired", "crashes", "frames_ok", "missed",
-                        "ctl_retries", "recov_n", "violations"});
+                        "ctl_retries", "recov_n", "ring", "violations"});
   table.SetCsv(csv);
 
   std::vector<CampaignResult> runs;
@@ -376,6 +394,7 @@ int main(int argc, char** argv) {
         .Cell(run.frames_missed)
         .Cell(run.control_retries)
         .Cell(static_cast<std::int64_t>(run.recovery_ms.size()))
+        .Cell(run.ring_truncated ? "trunc" : "whole")
         .Cell(ViolationSlugs(run));
     table.EndRow();
     recovery.insert(recovery.end(), run.recovery_ms.begin(), run.recovery_ms.end());

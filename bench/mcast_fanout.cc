@@ -33,6 +33,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/testbed.h"
+#include "src/obs/frame_trace.h"
 #include "src/obs/ledger.h"
 #include "src/mcast/group_manager.h"
 #include "src/mcast/group_transport.h"
@@ -62,11 +63,15 @@ struct FanoutPoint {
   double bytes_per_frame = 0.0;
   double reads_per_frame = 0.0;
   double repairs_per_frame = 0.0;
+  // Fleet frame-trace totals across every viewer (and the grouped feed),
+  // conservation-checked: stage buckets sum exactly to end-to-end time.
+  crobs::StageAttribution attribution;
 };
 
 cras::VolumeTestbedOptions RigOptions(bool grouped) {
   cras::VolumeTestbedOptions options;
   options.volume.disks = kDisks;
+  options.obs.frames.enabled = true;
   options.cras.memory_budget_bytes = 64 * crbase::kMiB;
   if (grouped) {
     options.cras.mcast.enabled = true;
@@ -241,6 +246,15 @@ FanoutPoint RunPoint(int viewers, bool burst, bool grouped) {
   if (bed.hub.ledger() != nullptr) {
     point.ledger_overruns = bed.hub.ledger()->overruns();
   }
+  point.attribution = bed.hub.frames().Totals();
+  CRAS_CHECK(point.attribution.conservation_violations == 0)
+      << point.attribution.conservation_violations << " non-monotone frame(s) at "
+      << point.loss_model << "/" << (grouped ? "grouped" : "unicast") << "/"
+      << viewers << " viewers";
+  CRAS_CHECK(point.attribution.unattributed_ns == 0)
+      << point.attribution.unattributed_ns << " ns unattributed at "
+      << point.loss_model << "/" << (grouped ? "grouped" : "unicast") << "/"
+      << viewers << " viewers";
   const double delivered = static_cast<double>(point.frames_ok);
   if (delivered > 0) {
     point.bytes_per_frame = static_cast<double>(point.server_bytes_sent) / delivered;
@@ -272,8 +286,16 @@ void WriteJson(const std::string& path, const std::vector<FanoutPoint>& points) 
         << ", \"bytes_per_frame\": " << p.bytes_per_frame
         << ", \"reads_per_frame\": " << p.reads_per_frame
         << ", \"repairs_per_frame\": " << p.repairs_per_frame
-        << ", \"ledger_overruns\": " << p.ledger_overruns << "}"
-        << (i + 1 < points.size() ? "," : "") << "\n";
+        << ", \"ledger_overruns\": " << p.ledger_overruns
+        << ",\n     \"frames_resolved\": " << p.attribution.frames_resolved()
+        << ", \"unattributed_ns\": " << p.attribution.unattributed_ns
+        << ", \"bucket_mean_ms\": {";
+    for (int b = 0; b < crobs::kStageBucketCount; ++b) {
+      const auto bucket = static_cast<crobs::StageBucket>(b);
+      out << (b > 0 ? ", " : "") << "\"" << crobs::StageBucketName(bucket)
+          << "\": " << p.attribution.MeanBucketMs(bucket);
+    }
+    out << "}}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -317,6 +339,30 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+
+  // Where each configuration's latency lives: grouped members anchor at the
+  // multicast send (no per-viewer disk work), so their rows concentrate in
+  // wire/repair/playout; unicast rows carry the full disk-to-playout path.
+  crstats::PrintBanner("Per-stage latency attribution (mean ms per resolved frame)");
+  crstats::Table attr({"viewers", "loss", "mode", "resolved", "disk_q", "disk_svc",
+                       "buf_wait", "wire", "repair_ms", "playout", "e2e"});
+  attr.SetCsv(csv);
+  for (const FanoutPoint& p : points) {
+    const crobs::StageAttribution& a = p.attribution;
+    attr.Cell(static_cast<std::int64_t>(p.viewers))
+        .Cell(p.loss_model)
+        .Cell(p.grouped ? "grouped" : "unicast")
+        .Cell(a.frames_resolved())
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kDiskQueue), 2)
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kDiskService), 2)
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kBufferWait), 2)
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kWire), 2)
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kRepair), 2)
+        .Cell(a.MeanBucketMs(crobs::StageBucket::kPlayoutSlack), 2)
+        .Cell(a.MeanEndToEndMs(), 2);
+    attr.EndRow();
+  }
+  attr.Print();
 
   // Headline criteria: at 16+ viewers, under both loss models, grouped
   // delivery beats unicast on server bytes AND disk reads per delivered

@@ -1,0 +1,208 @@
+// Observability overhead: the fig06 rig (10 MPEG1 streams + background
+// load, T = 0.5 s) run three ways — obs off (hub exists, nothing attached),
+// metrics only (the default), and full tracing (Chrome trace + frame
+// tracer + SLO monitor) — to price the record path.
+//
+// Reported: wall-clock per mode, frame-trace stamps, stamps/sec of wall
+// time, and the marginal per-frame record cost (full minus metrics-only
+// wall time over resolved frames). The bench asserts the admitted-stream
+// count is identical across modes: instrumentation must never change
+// admission decisions.
+//
+// Output: a table, the fleet attribution table, and BENCH_obs_overhead.json
+// (--out <file>).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/frame_trace.h"
+
+namespace {
+
+using cras::PlayerOptions;
+using cras::PlayerStats;
+using cras::Testbed;
+using cras::TestbedOptions;
+
+constexpr int kStreams = 10;
+constexpr crbase::Duration kPlayLength = crbase::Seconds(10);
+constexpr crbase::Duration kRunLength = crbase::Seconds(16);
+
+struct ModeResult {
+  std::string mode;
+  int admitted = 0;
+  std::int64_t frames_played = 0;
+  std::int64_t frames_missed = 0;
+  double wall_ms = 0;
+  std::uint64_t stamps = 0;            // frame-trace stage stamps taken
+  std::int64_t frames_resolved = 0;    // delivered + missed through the tracer
+  std::size_t trace_events = 0;        // Chrome trace events recorded
+  std::int64_t conservation_violations = 0;
+  std::int64_t unattributed_ns = 0;
+  crobs::StageAttribution totals;
+};
+
+ModeResult RunMode(const std::string& mode) {
+  TestbedOptions options;
+  options.cras.interval = crbase::Milliseconds(500);
+  if (mode == "off") {
+    options.attach_obs = false;
+  } else if (mode == "full") {
+    options.obs.trace.enabled = true;
+    options.obs.trace.capacity = 1 << 18;
+    options.obs.frames.enabled = true;
+    options.obs.slo.enabled = true;
+  } else {
+    CRAS_CHECK(mode == "metrics");
+  }
+  Testbed bed(options);
+  bed.StartServers();
+  auto files = crbench::MakeMpeg1Files(bed, kStreams, kPlayLength + crbase::Seconds(3));
+  std::vector<crsim::Task> cats = crbench::SpawnBackgroundCats(bed);
+  std::vector<std::unique_ptr<PlayerStats>> stats;
+  std::vector<crsim::Task> players;
+  PlayerOptions player_options;
+  player_options.play_length = kPlayLength;
+  for (int i = 0; i < kStreams; ++i) {
+    player_options.start_delay = crbase::Milliseconds(73) * i;
+    stats.push_back(std::make_unique<PlayerStats>());
+    players.push_back(cras::SpawnCrasPlayer(bed.kernel, bed.cras_server,
+                                            files[static_cast<std::size_t>(i)],
+                                            player_options, stats.back().get()));
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  bed.engine().RunFor(kRunLength + crbase::Milliseconds(73) * kStreams);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ModeResult result;
+  result.mode = mode;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  for (const auto& s : stats) {
+    result.frames_played += s->frames_played;
+    result.frames_missed += s->frames_missed;
+    if (!s->open_rejected) {
+      ++result.admitted;
+    }
+  }
+  result.stamps = bed.hub.frames().stamps();
+  result.totals = bed.hub.frames().Totals();
+  result.frames_resolved = result.totals.frames_resolved();
+  result.trace_events = bed.hub.trace().size();
+  result.conservation_violations = result.totals.conservation_violations;
+  result.unattributed_ns = result.totals.unattributed_ns;
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<ModeResult>& modes,
+               double events_per_sec, double per_frame_ns) {
+  std::ofstream out(path);
+  CRAS_CHECK(out.good()) << "cannot write " << path;
+  out << "{\n"
+      << "  \"bench\": \"obs_overhead\",\n"
+      << "  \"rig\": \"fig06: " << kStreams
+      << " MPEG1 streams + 2 cat readers, T = 0.5 s\",\n"
+      << "  \"admission_unchanged\": true,\n"
+      << "  \"events_per_sec\": " << events_per_sec << ",\n"
+      << "  \"per_frame_record_cost_ns\": " << per_frame_ns << ",\n"
+      << "  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    out << "    {\"mode\": \"" << m.mode << "\", \"admitted\": " << m.admitted
+        << ", \"frames_played\": " << m.frames_played
+        << ", \"frames_missed\": " << m.frames_missed
+        << ", \"wall_ms\": " << m.wall_ms << ",\n     \"stamps\": " << m.stamps
+        << ", \"frames_resolved\": " << m.frames_resolved
+        << ", \"trace_events\": " << m.trace_events
+        << ", \"conservation_violations\": " << m.conservation_violations
+        << ", \"unattributed_ns\": " << m.unattributed_ns << "}"
+        << (i + 1 < modes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = crbench::BenchInit(argc, argv);
+  std::string json_path = "BENCH_obs_overhead.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  crstats::PrintBanner("Observability overhead: fig06 rig, obs off / metrics / full tracing");
+  std::vector<ModeResult> modes;
+  for (const char* mode : {"off", "metrics", "full"}) {
+    modes.push_back(RunMode(mode));
+  }
+  const ModeResult& off = modes[0];
+  const ModeResult& metrics = modes[1];
+  const ModeResult& full = modes[2];
+
+  // Instrumentation must be behaviorally invisible: same admission verdicts
+  // and same playback outcome in virtual time, whatever the hub records.
+  CRAS_CHECK(metrics.admitted == off.admitted && full.admitted == off.admitted)
+      << "admitted streams changed with observability: off=" << off.admitted
+      << " metrics=" << metrics.admitted << " full=" << full.admitted;
+  CRAS_CHECK(full.frames_played == off.frames_played)
+      << "frames played changed with observability: off=" << off.frames_played
+      << " full=" << full.frames_played;
+  CRAS_CHECK(full.conservation_violations == 0 && full.unattributed_ns == 0)
+      << "attribution conservation broken: " << full.conservation_violations
+      << " violations, " << full.unattributed_ns << " ns unattributed";
+
+  crstats::Table table({"mode", "admitted", "frames_played", "wall_ms", "stamps",
+                        "trace_events", "stamps_per_sec"});
+  table.SetCsv(csv);
+  for (const ModeResult& m : modes) {
+    const double stamps_per_sec =
+        m.wall_ms > 0 ? static_cast<double>(m.stamps) / (m.wall_ms / 1000.0) : 0;
+    table.Cell(m.mode)
+        .Cell(static_cast<std::int64_t>(m.admitted))
+        .Cell(m.frames_played)
+        .Cell(m.wall_ms, 1)
+        .Cell(static_cast<std::int64_t>(m.stamps))
+        .Cell(static_cast<std::int64_t>(m.trace_events))
+        .Cell(stamps_per_sec, 0);
+    table.EndRow();
+  }
+  table.Print();
+
+  const double events_per_sec =
+      full.wall_ms > 0 ? static_cast<double>(full.stamps) / (full.wall_ms / 1000.0) : 0;
+  const double per_frame_ns =
+      full.frames_resolved > 0
+          ? (full.wall_ms - metrics.wall_ms) * 1e6 / static_cast<double>(full.frames_resolved)
+          : 0;
+  std::printf("\nfull tracing: %.0f stamps/sec of wall time, marginal record cost "
+              "%.0f ns/frame over %lld resolved frames\n",
+              events_per_sec, per_frame_ns,
+              static_cast<long long>(full.frames_resolved));
+
+  crstats::PrintBanner("Fleet attribution table (full-tracing mode)");
+  crstats::Table attr({"bucket", "mean_ms", "total_ms"});
+  attr.SetCsv(csv);
+  for (int b = 0; b < crobs::kStageBucketCount; ++b) {
+    const auto bucket = static_cast<crobs::StageBucket>(b);
+    attr.Cell(std::string(crobs::StageBucketName(bucket)))
+        .Cell(full.totals.MeanBucketMs(bucket), 3)
+        .Cell(crbase::ToMilliseconds(full.totals.bucket_ns[b]), 1);
+    attr.EndRow();
+  }
+  attr.Cell(std::string("end_to_end"))
+      .Cell(full.totals.MeanEndToEndMs(), 3)
+      .Cell(crbase::ToMilliseconds(full.totals.end_to_end_ns), 1);
+  attr.EndRow();
+  attr.Print();
+
+  WriteJson(json_path, modes, events_per_sec, per_frame_ns);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -272,6 +272,8 @@ AuditReport AuditRun(const AuditInput& input) {
   // A truncated ring cannot prove an event's *absence*; absence-based checks
   // are skipped then (presence-based ones still hold).
   const bool ring_truncated = flight.dropped() > 0;
+  report.ring_truncated = ring_truncated;
+  report.flight_dropped = flight.dropped();
 
   // --- 1. Every admitted stream reached exactly one terminal state. -------
   for (const SessionFate& fate : input.fates) {
@@ -433,6 +435,21 @@ AuditReport AuditRun(const AuditInput& input) {
               event.detail + " on disk " + std::to_string(event.a) + " at " +
                   std::to_string(crbase::ToMilliseconds(event.ts)) +
                   " ms never re-settled admission");
+    }
+  }
+
+  // --- 8. Frame latency attribution conserves end-to-end time. ------------
+  if (const crobs::FrameTracer& frames = input.hub->frames(); frames.enabled()) {
+    const crobs::StageAttribution& totals = frames.Totals();
+    if (totals.conservation_violations > 0) {
+      violate("frame_attribution",
+              std::to_string(totals.conservation_violations) +
+                  " frame(s) resolved with non-monotone stage stamps");
+    }
+    if (totals.unattributed_ns != 0) {
+      violate("frame_attribution",
+              std::to_string(totals.unattributed_ns) +
+                  " ns of end-to-end latency attributed to no stage");
     }
   }
 

@@ -140,6 +140,11 @@ struct AuditReport {
   std::vector<Violation> violations;
   // Per admission-affecting disk fault: gap to the next kResettled, ms.
   std::vector<double> recovery_latencies_ms;
+  // The flight ring overwrote events before the audit read it: every
+  // absence-based check was skipped, so an "ok" verdict is weaker. Rigs
+  // must surface this (a truncated ring silently passing is itself a bug).
+  bool ring_truncated = false;
+  std::int64_t flight_dropped = 0;  // events the ring overwrote
   bool ok() const { return violations.empty(); }
   std::string Summary() const;
 };

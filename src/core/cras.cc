@@ -104,6 +104,9 @@ void CrasServer::AttachObs(crobs::Hub* hub) {
   }
   auto obs = std::make_unique<ObsState>();
   obs->hub = hub;
+  if (hub->frames().enabled()) {
+    obs->frames = &hub->frames();
+  }
   crobs::Tracer& trace = hub->trace();
   obs->track = trace.InternTrack("cras");
   obs->n_interval = trace.InternName("interval");
@@ -334,6 +337,14 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
     Batch& batch = it->second;
     CRAS_CHECK(batch.outstanding > 0);
     --batch.outstanding;
+    // The disk does not announce when it starts servicing, but the
+    // completion carries the full phase breakdown, so service start is the
+    // completion instant minus its terms. The earliest one over the batch
+    // splits the frame trace's disk-queue / disk-service attribution.
+    const crbase::Time service_start = kernel_->Now() - msg.completion.service_time();
+    if (batch.first_service_start < 0 || service_start < batch.first_service_start) {
+      batch.first_service_start = service_start;
+    }
     if (batch.interval_slot < interval_records_.size()) {
       interval_records_[batch.interval_slot].actual_io += msg.completion.service_time();
     }
@@ -373,6 +384,19 @@ crsim::Task CrasServer::IoDoneManagerThread(crrt::ThreadContext& ctx) {
         if (trace.enabled()) {
           trace.AsyncEnd(obs_->track, obs_->cat_batch, obs_->n_prefetch, batch.id);
           trace.CounterSample(obs_->track, obs_->n_slack, slack_ms);
+        }
+      }
+      if (batch.kind == SessionKind::kRead) {
+        if (Session* session = FindSession(batch.session);
+            session != nullptr && session->ftrace != nullptr) {
+          const crbase::Time start = batch.first_service_start >= 0
+                                         ? batch.first_service_start
+                                         : kernel_->Now();
+          for (std::int64_t chunk = batch.first_chunk; chunk < batch.last_chunk;
+               ++chunk) {
+            session->ftrace->StampAt(chunk, crobs::FrameStage::kDiskStart, start);
+            session->ftrace->Stamp(chunk, crobs::FrameStage::kDiskDone);
+          }
         }
       }
       if (kernel_->Now() > batch.deadline) {
@@ -584,6 +608,13 @@ crbase::Result<SessionId> CrasServer::HandleOpen(OpenParams params, bool interna
   if (obs_ != nullptr) {
     obs_->sessions_opened->Add();
     session.buffer->AttachObs(obs_->hub, "s" + std::to_string(session.id));
+    if (obs_->frames != nullptr && session.kind == SessionKind::kRead) {
+      session.ftrace =
+          obs_->frames->Register(session.id, "s" + std::to_string(session.id));
+      // The buffer resolves frames it has to discard unconsumed, so a frame
+      // that aged out of the ring still gets a missed decomposition.
+      session.buffer->SetFrameTrace(session.ftrace);
+    }
   }
   const SessionId id = session.id;
   const crufs::InodeNumber title = session.inode;
@@ -817,6 +848,7 @@ crbase::Status CrasServer::HandleSetRate(SessionId id, double rate_factor) {
     if (obs_ != nullptr) {
       grown->AttachObs(obs_->hub, "s" + std::to_string(id));
     }
+    grown->SetFrameTrace(session->ftrace);
     session->buffer = std::move(grown);
   }
   session->demand = new_demand;
@@ -900,6 +932,10 @@ crbase::Status CrasServer::HandleReconnect(SessionId id) {
   if (obs_ != nullptr) {
     obs_->sessions_resumed->Add();
     session.buffer->AttachObs(obs_->hub, "s" + std::to_string(id));
+    if (obs_->frames != nullptr && session.kind == SessionKind::kRead) {
+      session.ftrace = obs_->frames->Register(id, "s" + std::to_string(id));
+      session.buffer->SetFrameTrace(session.ftrace);
+    }
   }
   const SessionKind resumed_kind = old.kind;
   const crufs::InodeNumber resumed_title = old.inode;
@@ -1167,6 +1203,9 @@ std::int64_t CrasServer::PublishCompletedBatches() {
       buffered.duration = chunk.duration;
       buffered.size = chunk.size;
       buffered.filled_at = now;
+      if (session->ftrace != nullptr) {
+        session->ftrace->Stamp(c, crobs::FrameStage::kPublished);
+      }
       session->buffer->Put(buffered, logical_now);
       ++session->stats.chunks_published;
       session->stats.bytes_published += chunk.size;
@@ -1206,6 +1245,7 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     batch.kind = kind;
     batch.interval_slot = interval_slot;
     batch.deadline = deadline;
+    batch.planned_at = kernel_->Now();
     const crdisk::IoKind io_kind =
         kind == SessionKind::kRead ? crdisk::IoKind::kRead : crdisk::IoKind::kWrite;
     for (const crufs::Extent& extent : *extents) {
@@ -1239,6 +1279,12 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
     interval_records_[interval_slot].bytes += batch.bytes;
     if (obs_ != nullptr) {
       obs_->hub->trace().AsyncBegin(obs_->track, obs_->cat_batch, obs_->n_prefetch, batch.id);
+    }
+    if (kind == SessionKind::kRead && session.ftrace != nullptr) {
+      for (std::int64_t c = first; c < last; ++c) {
+        session.ftrace->Stamp(c, crobs::FrameStage::kScheduled);
+        session.ftrace->SetPath(c, crobs::FramePath::kDisk);
+      }
     }
     inflight_.emplace(batch.id, batch);
   };
@@ -1299,8 +1345,13 @@ std::int64_t CrasServer::IssueIntervalIo(std::size_t interval_slot, crbase::Time
             batch.kind = SessionKind::kRead;
             batch.interval_slot = interval_slot;
             batch.deadline = deadline;
+            batch.planned_at = kernel_->Now();
             for (std::int64_t c = first; c < first + run.chunks; ++c) {
               batch.bytes += session.index.at(static_cast<std::size_t>(c)).size;
+              if (session.ftrace != nullptr) {
+                session.ftrace->Stamp(c, crobs::FrameStage::kScheduled);
+                session.ftrace->SetPath(c, crobs::FramePath::kCache);
+              }
             }
             stats_.bytes_from_cache += batch.bytes;
             if (obs_ != nullptr) {
@@ -1422,6 +1473,11 @@ std::optional<BufferedChunk> CrasServer::Get(SessionId id, crbase::Time logical)
   // buffer touch, with no server round trip.
   session->buffer->DiscardObsolete(session->clock->Now());
   return session->buffer->Get(logical);
+}
+
+crobs::SessionTrace* CrasServer::FrameTrace(SessionId id) const {
+  const Session* session = FindSession(id);
+  return session == nullptr ? nullptr : session->ftrace;
 }
 
 crbase::Time CrasServer::LogicalNow(SessionId id) const {

@@ -302,6 +302,13 @@ class CrasServer {
   std::optional<BufferedChunk> Get(SessionId id, crbase::Time logical);
   crbase::Time LogicalNow(SessionId id) const;
 
+  // Session `id`'s frame-trace ring, or nullptr (unknown session, or frame
+  // tracing disabled). The delivery layer — local player, NPS sender, group
+  // transport — caches this once per session and stamps the downstream
+  // stages; Get() itself never stamps playout, because server-side senders
+  // call it long before the client consumes the frame.
+  crobs::SessionTrace* FrameTrace(SessionId id) const;
+
   // Write-session data path: the client marks `chunk` of the session's
   // index as produced (resident in the shared buffer, ready to hit disk).
   crbase::Status PutChunk(SessionId id, std::int64_t chunk);
@@ -421,6 +428,9 @@ class CrasServer {
     std::int64_t next_chunk = 0;     // first chunk not yet scheduled
     std::deque<std::int64_t> write_queue;  // produced, not yet written
     crbase::Time lease_renewed_at = 0;     // last RenewLease (or open) time
+    // Frame-trace ring for this session (owned by the hub's FrameTracer);
+    // null when frame tracing is off, so stamping costs one pointer test.
+    crobs::SessionTrace* ftrace = nullptr;
     SessionStats stats;
   };
 
@@ -446,6 +456,11 @@ class CrasServer {
     std::int64_t bytes = 0;
     std::size_t interval_slot = 0;  // index into interval_records_
     crbase::Time deadline = 0;      // next boundary after issue
+    crbase::Time planned_at = 0;    // scheduler boundary that issued it
+    // Earliest member-disk service start among the batch's completions
+    // (derived: completion time minus its service terms). Feeds the frame
+    // trace's disk-queue / disk-service split; -1 until a completion lands.
+    crbase::Time first_service_start = -1;
   };
 
   struct IoDoneMsg {
@@ -522,6 +537,9 @@ class CrasServer {
 
   struct ObsState {
     crobs::Hub* hub = nullptr;
+    // Cached hub->frames() when frame tracing is enabled; per-session rings
+    // are registered at open and cached on the Session itself.
+    crobs::FrameTracer* frames = nullptr;
     std::uint32_t track = 0;          // "cras" — the scheduler's track
     std::uint32_t n_interval = 0;     // B/E span per scheduler tick
     std::uint32_t cat_batch = 0;      // async category for prefetch batches

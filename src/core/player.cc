@@ -58,6 +58,9 @@ crsim::Task SpawnCrasPlayer(crrt::Kernel& kernel, CrasServer& server,
             options.initial_delay >= 0 ? options.initial_delay : server.SuggestedInitialDelay();
         (void)co_await server.StartStream(id, initial_delay);
         const crbase::Time logical_zero_at = ctx.Now() + initial_delay;
+        // The frame-trace ring, if the hub has frame tracing on: the player
+        // owns the playout verdict for a locally consumed stream.
+        crobs::SessionTrace* ftrace = server.FrameTrace(id);
 
         const auto& chunks = file.index.chunks();
         const std::int64_t frame_count = static_cast<std::int64_t>(chunks.size());
@@ -94,6 +97,9 @@ crsim::Task SpawnCrasPlayer(crrt::Kernel& kernel, CrasServer& server,
               stats->frames.push_back(record);
               ++stats->frames_played;
               stats->bytes_consumed += buffered->size;
+              if (ftrace != nullptr) {
+                ftrace->Deliver(frame);
+              }
               got = true;
               break;
             }
@@ -105,6 +111,9 @@ crsim::Task SpawnCrasPlayer(crrt::Kernel& kernel, CrasServer& server,
               co_return;
             }
             ++stats->frames_missed;
+            if (ftrace != nullptr) {
+              ftrace->Miss(frame, crobs::FrameStage::kPlayout);
+            }
             continue;
           }
         }

@@ -31,6 +31,9 @@ struct TestbedOptions {
   // Hub configuration (tracing off by default; metrics always on — the
   // registry only holds what attached components register).
   crobs::Hub::Options obs;
+  // false: the hub exists but no component attaches to it — the zero-cost
+  // baseline of bench/obs_overhead. Everything else leaves this true.
+  bool attach_obs = true;
 };
 
 class Testbed {
@@ -44,7 +47,8 @@ class Testbed {
         driver(kernel.engine(), device, options.driver),
         fs(options.ufs),
         unix_server(kernel, driver, fs, options.unix_server),
-        cras_server(kernel, driver, fs, WithObs(options.cras, &hub)) {}
+        cras_server(kernel, driver, fs,
+                    WithObs(options.cras, options.attach_obs ? &hub : nullptr)) {}
 
   // Starts both servers.
   void StartServers() {
@@ -79,6 +83,8 @@ struct VolumeTestbedOptions {
   crufs::UnixServer::Options unix_server;
   CrasServer::Options cras;
   crobs::Hub::Options obs;
+  // See TestbedOptions::attach_obs.
+  bool attach_obs = true;
 };
 
 // The multi-disk rig: N identical member disks behind a striped or parity
@@ -95,7 +101,8 @@ class VolumeTestbed {
         volume(*volume_owner),
         fs(UfsOptionsFor(volume, options.ufs)),
         unix_server(kernel, volume, fs, options.unix_server),
-        cras_server(kernel, volume, fs, WithObs(options.cras, &hub)) {}
+        cras_server(kernel, volume, fs,
+                    WithObs(options.cras, options.attach_obs ? &hub : nullptr)) {}
 
   // Starts both servers.
   void StartServers() {

@@ -31,6 +31,18 @@ void TimeDrivenBuffer::AttachObs(crobs::Hub* hub, const std::string& stream) {
   RecordOccupancy();
 }
 
+void TimeDrivenBuffer::SetFrameTrace(crobs::SessionTrace* trace,
+                                     crobs::FrameStage miss_stage) {
+  ftrace_ = trace;
+  miss_stage_ = miss_stage;
+}
+
+void TimeDrivenBuffer::NoteDropped(const Entry& entry) {
+  if (ftrace_ != nullptr && !entry.taken) {
+    ftrace_->Miss(entry.chunk.chunk_index, miss_stage_);
+  }
+}
+
 void TimeDrivenBuffer::RecordOccupancy() {
   if (obs_ == nullptr) {
     return;
@@ -47,11 +59,12 @@ void TimeDrivenBuffer::DiscardObsolete(Time logical_now) {
   auto it = chunks_.begin();
   std::int64_t discarded = 0;
   while (it != chunks_.end()) {
-    const BufferedChunk& c = it->second;
+    const BufferedChunk& c = it->second.chunk;
     if (c.timestamp + c.duration <= discard_before) {
       resident_bytes_ -= c.size;
       ++stats_.discarded_obsolete;
       ++discarded;
+      NoteDropped(it->second);
       it = chunks_.erase(it);
     } else {
       // Keyed by timestamp: everything later is still live.
@@ -70,26 +83,30 @@ void TimeDrivenBuffer::Put(const BufferedChunk& chunk, Time logical_now) {
     // The data arrived after its playback window closed (a deadline miss
     // upstream); the time-driven rule says it is already garbage.
     ++stats_.rejected_late;
+    if (ftrace_ != nullptr) {
+      ftrace_->Miss(chunk.chunk_index, miss_stage_);
+    }
     return;
   }
   // A duplicate put (e.g. after a seek re-fetches a window) replaces the
   // resident copy.
   auto existing = chunks_.find(chunk.timestamp);
   if (existing != chunks_.end()) {
-    resident_bytes_ -= existing->second.size;
+    resident_bytes_ -= existing->second.chunk.size;
     chunks_.erase(existing);
     ++stats_.replaced;
   }
   while (resident_bytes_ + chunk.size > capacity_bytes_ && !chunks_.empty()) {
     auto oldest = chunks_.begin();
-    resident_bytes_ -= oldest->second.size;
+    resident_bytes_ -= oldest->second.chunk.size;
+    NoteDropped(oldest->second);
     chunks_.erase(oldest);
     ++stats_.overflow_evictions;
     if (obs_ != nullptr) {
       obs_->evictions->Add();
     }
   }
-  chunks_.emplace(chunk.timestamp, chunk);
+  chunks_.emplace(chunk.timestamp, Entry{chunk, false});
   resident_bytes_ += chunk.size;
   stats_.max_resident_bytes = std::max(stats_.max_resident_bytes, resident_bytes_);
   ++stats_.puts;
@@ -107,11 +124,12 @@ std::optional<BufferedChunk> TimeDrivenBuffer::Get(Time t) {
     return std::nullopt;
   }
   --it;
-  const BufferedChunk& c = it->second;
+  const BufferedChunk& c = it->second.chunk;
   if (t >= c.timestamp + c.duration) {
     ++stats_.get_misses;
     return std::nullopt;
   }
+  it->second.taken = true;
   ++stats_.get_hits;
   return c;
 }

@@ -83,6 +83,15 @@ class TimeDrivenBuffer {
   // the "buffers" trace track.
   void AttachObs(crobs::Hub* hub, const std::string& stream);
 
+  // Points the buffer at the session's frame-trace ring (nullptr detaches).
+  // A chunk that ages out, overflows, or arrives late *without ever being
+  // consumed* is resolved as missed at `miss_stage` — the last stage it
+  // demonstrably reached (kPublished for a server-side buffer, kCompleted
+  // for a receive-side reassembly buffer). Resolution is idempotent, so a
+  // racing player- or sender-side verdict is safe either way.
+  void SetFrameTrace(crobs::SessionTrace* trace,
+                     crobs::FrameStage miss_stage = crobs::FrameStage::kPublished);
+
  private:
   struct ObsState {
     crobs::Hub* hub = nullptr;
@@ -94,14 +103,23 @@ class TimeDrivenBuffer {
     crobs::Counter* evictions = nullptr;
   };
 
+  struct Entry {
+    BufferedChunk chunk;
+    bool taken = false;  // consumed by Get at least once
+  };
+
   void RecordOccupancy();
+  // Frame-trace a chunk leaving the buffer unconsumed (no-op otherwise).
+  void NoteDropped(const Entry& entry);
 
   std::int64_t capacity_bytes_;
   Duration jitter_allowance_;
-  std::map<Time, BufferedChunk> chunks_;  // keyed by timestamp
+  std::map<Time, Entry> chunks_;  // keyed by timestamp
   std::int64_t resident_bytes_ = 0;
   TimeDrivenBufferStats stats_;
   std::unique_ptr<ObsState> obs_;
+  crobs::SessionTrace* ftrace_ = nullptr;
+  crobs::FrameStage miss_stage_ = crobs::FrameStage::kPublished;
 };
 
 }  // namespace cras

@@ -39,6 +39,13 @@ void GroupReceiver::ConnectReverse(crnet::Link& reverse, GroupSender& sender,
   member_ = member;
 }
 
+void GroupReceiver::set_frame_trace(crobs::SessionTrace* trace) {
+  ftrace_ = trace;
+  // Chunks that complete reassembly but age out unconsumed were last seen
+  // completing; the buffer resolves them there.
+  buffer_.SetFrameTrace(trace, crobs::FrameStage::kCompleted);
+}
+
 crsim::Task GroupReceiver::Start() {
   return kernel_->Spawn("mcast-report", options_.priority,
                         [this](crrt::ThreadContext& ctx) { return ReportThread(ctx); });
@@ -111,6 +118,9 @@ void GroupReceiver::OnFragment(const crnet::NpsFragment& fragment) {
   }
   entry.have[static_cast<std::size_t>(fragment.frag_index)] = true;
   ++entry.received;
+  if (!fragment.retransmit) {
+    entry.last_fresh_at = kernel_->Now();
+  }
   if (entry.received == entry.frag_count) {
     Complete(fragment.seq, entry);
   }
@@ -190,6 +200,15 @@ void GroupReceiver::Complete(std::uint64_t seq, Reassembly& entry) {
   const crbase::Time now = kernel_->Now();
   cras::BufferedChunk local = entry.chunk;
   local.filled_at = now;
+  if (ftrace_ != nullptr) {
+    // Wire ends at the last fresh fragment; time after that is coded
+    // repair. A loss-free chunk completes on arrival with zero repair; a
+    // chunk none of whose fresh fragments survived has zero wire time and
+    // charges the full sent-to-completed wait to repair.
+    ftrace_->StampAt(local.chunk_index, crobs::FrameStage::kArrived,
+                     entry.last_fresh_at >= 0 ? entry.last_fresh_at : entry.sent_at);
+    ftrace_->StampAt(local.chunk_index, crobs::FrameStage::kCompleted, now);
+  }
   buffer_.Put(local, clock_.Now());
   ++stats_.chunks_received;
   stats_.bytes_received += entry.chunk.size;
@@ -202,12 +221,25 @@ void GroupReceiver::Complete(std::uint64_t seq, Reassembly& entry) {
 }
 
 void GroupReceiver::Abandon(std::uint64_t seq, Reassembly& entry) {
-  (void)entry;
   ++stats_.chunks_abandoned;
   if (obs_ != nullptr) {
     obs_->chunks_abandoned->Add();
     obs_->hub->flight().Record(crobs::FlightEventKind::kNakGiveUp,
                                static_cast<std::int64_t>(seq), 0, 0, "mcast-receiver");
+  }
+  if (ftrace_ != nullptr) {
+    // Multicast sequence numbers are chunk indices, so even a metadata-less
+    // placeholder resolves against the right frame.
+    const std::int64_t chunk_index =
+        entry.frag_count > 0 ? entry.chunk.chunk_index : static_cast<std::int64_t>(seq);
+    if (entry.last_fresh_at >= 0) {
+      ftrace_->StampAt(chunk_index, crobs::FrameStage::kArrived, entry.last_fresh_at);
+    } else if (entry.frag_count > 0) {
+      // Only repair traffic arrived: zero wire time, the wait was all repair.
+      ftrace_->StampAt(chunk_index, crobs::FrameStage::kArrived, entry.sent_at);
+    }
+    ftrace_->Miss(chunk_index, entry.received > 0 ? crobs::FrameStage::kCompleted
+                                                  : crobs::FrameStage::kArrived);
   }
   done_.insert(seq);
   abandoned_.insert(seq);
@@ -282,7 +314,11 @@ crsim::Task GroupReceiver::ReportThread(crrt::ThreadContext& ctx) {
 
 std::optional<cras::BufferedChunk> GroupReceiver::Get(crbase::Time t) {
   buffer_.DiscardObsolete(clock_.Now());
-  return buffer_.Get(t);
+  std::optional<cras::BufferedChunk> chunk = buffer_.Get(t);
+  if (chunk.has_value() && ftrace_ != nullptr) {
+    ftrace_->Deliver(chunk->chunk_index);
+  }
+  return chunk;
 }
 
 void GroupReceiver::AttachObs(crobs::Hub* hub, const std::string& name) {
@@ -324,6 +360,10 @@ void GroupSender::AddMember(SessionId session, GroupReceiver& receiver) {
   CRAS_CHECK(mgr != nullptr);
   member.merge_chunk = mgr->MergeChunkOf(session);
   receiver.set_merge_chunk(member.merge_chunk);
+  // Frame identity rides the member session: both ends of this member's
+  // delivery stamp the same trace ring.
+  member.trace = server_->FrameTrace(session);
+  receiver.set_frame_trace(member.trace);
   members_.push_back(std::move(member));
 }
 
@@ -355,11 +395,11 @@ std::size_t GroupSender::ShipMulticast(std::uint64_t seq, const cras::BufferedCh
   }
   const int frag_count = static_cast<int>(frag_bytes.size());
 
-  std::vector<GroupReceiver*> targets;
+  std::vector<Member*> targets;
   for (Member& member : members_) {
     if (!member.dead && !member.unicast &&
         static_cast<std::uint64_t>(member.merge_chunk) <= seq) {
-      targets.push_back(member.receiver);
+      targets.push_back(&member);
     }
   }
   StoredChunk stored;
@@ -380,7 +420,8 @@ std::size_t GroupSender::ShipMulticast(std::uint64_t seq, const cras::BufferedCh
     fragment.multicast = true;
     std::vector<std::function<void()>> delivers;
     delivers.reserve(targets.size());
-    for (GroupReceiver* receiver : targets) {
+    for (Member* target : targets) {
+      GroupReceiver* receiver = target->receiver;
       delivers.push_back([receiver, fragment] { receiver->OnFragment(fragment); });
     }
     if (!delivers.empty()) {
@@ -388,6 +429,14 @@ std::size_t GroupSender::ShipMulticast(std::uint64_t seq, const cras::BufferedCh
     }
     ++stats_.packets_multicast;
     stats_.bytes_multicast += fragment.bytes;
+  }
+  for (Member* target : targets) {
+    if (target->trace != nullptr) {
+      // Each member's frame enters the wire here; the fan-out itself is the
+      // member's first traced stage (no per-member disk work exists).
+      target->trace->SetPath(chunk.chunk_index, crobs::FramePath::kMcastMember);
+      target->trace->StampAt(chunk.chunk_index, crobs::FrameStage::kSent, sent_at);
+    }
   }
   ++stats_.chunks_multicast;
   if (obs_ != nullptr) {
@@ -426,6 +475,11 @@ void GroupSender::SendUnicast(Member& member, std::uint64_t seq,
     fragment.sent_at = sent_at;
     fragment.retransmit = retransmit;
     link_->Send(fragment.bytes, [receiver, fragment] { receiver->OnFragment(fragment); });
+  }
+  if (member.trace != nullptr && !retransmit) {
+    // Bridge/unicast chunks come from the member's own CRAS session, which
+    // already set the path (cache or disk); only the send is new here.
+    member.trace->StampAt(chunk.chunk_index, crobs::FrameStage::kSent, sent_at);
   }
 }
 
@@ -693,6 +747,12 @@ crsim::Task GroupSender::SenderThread(crrt::ThreadContext& ctx,
         if (server_->LogicalNow(feed) > crnet::ChunkDeadline(chunk)) {
           skipped_.insert(cursor_);
           ++stats_.chunks_skipped;
+          if (crobs::SessionTrace* feed_trace = server_->FrameTrace(feed)) {
+            feed_trace->Miss(static_cast<std::int64_t>(cursor_),
+                             crobs::FrameStage::kSent);
+          }
+          // Members never see this chunk on the feed; their own deadline
+          // sweeps resolve the per-member misses.
           ++cursor_;
           server_->mcast_groups()->NoteShipCursor(group_, static_cast<std::int64_t>(cursor_));
           continue;
@@ -701,6 +761,12 @@ crsim::Task GroupSender::SenderThread(crrt::ThreadContext& ctx,
       }
       co_await ctx.Compute(options_.cpu_per_chunk);
       ShipMulticast(cursor_, *buffered, ctx.Now());
+      if (crobs::SessionTrace* feed_trace = server_->FrameTrace(feed)) {
+        // The feed session's own frame ends its life at the fan-out: it is
+        // "delivered" to the group, not played out locally.
+        feed_trace->SetPath(buffered->chunk_index, crobs::FramePath::kMcastFeed);
+        feed_trace->ResolveDelivered(buffered->chunk_index);
+      }
       ++cursor_;
       server_->mcast_groups()->NoteShipCursor(group_, static_cast<std::int64_t>(cursor_));
     }
@@ -731,6 +797,9 @@ crsim::Task GroupSender::SenderThread(crrt::ThreadContext& ctx,
         if (!buffered.has_value()) {
           if (server_->LogicalNow(member.session) > crnet::ChunkDeadline(chunk)) {
             ++stats_.chunks_skipped;
+            if (member.trace != nullptr) {
+              member.trace->Miss(cur, crobs::FrameStage::kSent);
+            }
             (member.unicast ? member.unicast_cursor : member.patch_cursor) = cur + 1;
             continue;
           }

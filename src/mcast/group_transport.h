@@ -145,6 +145,13 @@ class GroupReceiver {
   // The remote application's crs_get equivalent.
   std::optional<cras::BufferedChunk> Get(crbase::Time t);
 
+  // Points the receiver at the member session's frame-trace ring (the
+  // sender wires this in AddMember). Completed chunks stamp kArrived (last
+  // fresh fragment) and kCompleted; deadline-swept gaps resolve as misses;
+  // Get() stamps playout. nullptr detaches.
+  void set_frame_trace(crobs::SessionTrace* trace);
+  crobs::SessionTrace* frame_trace() const { return ftrace_; }
+
   cras::LogicalClock& clock() { return clock_; }
   const GroupReceiverStats& stats() const { return stats_; }
   const cras::TimeDrivenBufferStats& buffer_stats() const { return buffer_.stats(); }
@@ -161,6 +168,9 @@ class GroupReceiver {
     int received = 0;
     crbase::Time sent_at = 0;
     crbase::Time created_at = 0;  // receiver host time
+    // Arrival of the newest *fresh* (non-repair) fragment: the wire/repair
+    // attribution boundary. -1 until one arrives.
+    crbase::Time last_fresh_at = -1;
   };
 
   struct ObsState {
@@ -202,6 +212,7 @@ class GroupReceiver {
   std::uint64_t due_swept_ = 0;         // due sweep: playout-imminent check
   GroupReceiverStats stats_;
   std::unique_ptr<ObsState> obs_;
+  crobs::SessionTrace* ftrace_ = nullptr;
 };
 
 struct GroupSenderStats {
@@ -285,6 +296,8 @@ class GroupSender {
     std::int64_t unicast_cursor = 0;  // demoted-member progress
     bool unicast = false;             // demoted: served like a plain stream
     bool dead = false;                // session gone
+    // The member session's frame-trace ring (nullptr when tracing is off).
+    crobs::SessionTrace* trace = nullptr;
     // Multicast losses reported since the last repair pass.
     std::map<std::uint64_t, std::vector<int>> missing;
   };

@@ -36,6 +36,13 @@ void NpsReceiver::ConnectReverse(Link& reverse, NpsSender& sender) {
   sender.EnableRetransmit();
 }
 
+void NpsReceiver::set_frame_trace(crobs::SessionTrace* trace) {
+  ftrace_ = trace;
+  // The local playout buffer resolves frames that complete reassembly but
+  // age out unconsumed.
+  buffer_.SetFrameTrace(trace, crobs::FrameStage::kCompleted);
+}
+
 void NpsReceiver::OnFragment(const NpsFragment& fragment) {
   ++stats_.fragments_received;
   if (fragment.retransmit) {
@@ -75,6 +82,9 @@ void NpsReceiver::OnFragment(const NpsFragment& fragment) {
   }
   entry.have[static_cast<std::size_t>(fragment.frag_index)] = true;
   ++entry.received;
+  if (!fragment.retransmit) {
+    entry.last_fresh_at = kernel_->Now();
+  }
   if (entry.received == entry.frag_count) {
     Complete(fragment.seq, entry);
   }
@@ -151,6 +161,16 @@ void NpsReceiver::Complete(std::uint64_t seq, Reassembly& entry) {
   const crbase::Time now = kernel_->Now();
   cras::BufferedChunk local = entry.chunk;
   local.filled_at = now;
+  if (ftrace_ != nullptr) {
+    // Wire ends at the last fresh fragment; everything after that is
+    // repair. A chunk none of whose fresh fragments survived has zero wire
+    // time — the wire delivered nothing — so its entire sent-to-completed
+    // latency is repair: anchor kArrived at the original send time (carried
+    // in every fragment, equal to the sender's kSent stamp).
+    ftrace_->StampAt(local.chunk_index, crobs::FrameStage::kArrived,
+                     entry.last_fresh_at >= 0 ? entry.last_fresh_at : entry.sent_at);
+    ftrace_->StampAt(local.chunk_index, crobs::FrameStage::kCompleted, now);
+  }
   buffer_.Put(local, clock_.Now());
   ++stats_.chunks_received;
   stats_.bytes_received += entry.chunk.size;
@@ -173,13 +193,35 @@ void NpsReceiver::Abandon(std::uint64_t seq, Reassembly& entry) {
     obs_->hub->flight().Record(crobs::FlightEventKind::kNakGiveUp,
                                static_cast<std::int64_t>(seq), entry.naks, 0, "receiver");
   }
+  if (ftrace_ != nullptr) {
+    // Frame identity: a fragment-carrying entry knows its chunk index; a
+    // wholly-lost placeholder maps its sequence number through the sender's
+    // durable send log (present whenever a reverse link is connected).
+    const std::int64_t chunk_index =
+        entry.frag_count > 0 ? entry.chunk.chunk_index
+                             : (sender_ != nullptr ? sender_->ChunkIndexOf(seq) : -1);
+    if (chunk_index >= 0) {
+      if (entry.last_fresh_at >= 0) {
+        ftrace_->StampAt(chunk_index, crobs::FrameStage::kArrived, entry.last_fresh_at);
+      } else if (entry.frag_count > 0) {
+        // Only retransmits arrived: zero wire time, the wait was all repair.
+        ftrace_->StampAt(chunk_index, crobs::FrameStage::kArrived, entry.sent_at);
+      }
+      ftrace_->Miss(chunk_index, entry.received > 0 ? crobs::FrameStage::kCompleted
+                                                    : crobs::FrameStage::kArrived);
+    }
+  }
   done_.insert(seq);
   pending_.erase(seq);
 }
 
 std::optional<cras::BufferedChunk> NpsReceiver::Get(crbase::Time t) {
   buffer_.DiscardObsolete(clock_.Now());
-  return buffer_.Get(t);
+  std::optional<cras::BufferedChunk> chunk = buffer_.Get(t);
+  if (chunk.has_value() && ftrace_ != nullptr) {
+    ftrace_->Deliver(chunk->chunk_index);
+  }
+  return chunk;
 }
 
 void NpsReceiver::AttachObs(crobs::Hub* hub, const std::string& name) {
@@ -213,10 +255,20 @@ NpsSender::NpsSender(crrt::Kernel& kernel, cras::CrasServer& server, Link& link,
 
 crsim::Task NpsSender::Start(cras::SessionId session, const crmedia::ChunkIndex* index) {
   session_ = session;
+  // Frame identity rides the session: cache the server's trace ring once and
+  // hand it to the receiver so both ends stamp the same records.
+  ftrace_ = server_->FrameTrace(session);
+  receiver_->set_frame_trace(ftrace_);
   return kernel_->Spawn("nps-sender", options_.priority,
                         [this, session, index](crrt::ThreadContext& ctx) {
                           return SenderThread(ctx, session, index);
                         });
+}
+
+std::int64_t NpsSender::ChunkIndexOf(std::uint64_t seq) const {
+  return seq < sent_chunk_index_.size()
+             ? sent_chunk_index_[static_cast<std::size_t>(seq)]
+             : -1;
 }
 
 void NpsSender::SendFragment(const NpsFragment& fragment) {
@@ -310,6 +362,11 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
     }
     if (!buffered.has_value()) {
       ++stats_.chunks_skipped;
+      if (ftrace_ != nullptr) {
+        // Never reached the wire: the last stage it provably missed is the
+        // send itself.
+        ftrace_->Miss(static_cast<std::int64_t>(cursor), crobs::FrameStage::kSent);
+      }
       continue;
     }
     co_await ctx.Compute(options_.cpu_per_chunk);
@@ -320,6 +377,7 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
     // detect, not ours to signal.
     const crbase::Time sent_at = ctx.Now();
     const std::uint64_t seq = next_seq_++;
+    sent_chunk_index_.push_back(buffered->chunk_index);
     std::vector<std::int64_t> frag_bytes;
     for (std::int64_t remaining = buffered->size; remaining > 0;) {
       const std::int64_t fragment = std::min(remaining, options_.max_packet_bytes);
@@ -348,6 +406,9 @@ crsim::Task NpsSender::SenderThread(crrt::ThreadContext& ctx, cras::SessionId se
       stats_.bytes_sent += fragment.bytes;
     }
     ++stats_.chunks_sent;
+    if (ftrace_ != nullptr) {
+      ftrace_->StampAt(buffered->chunk_index, crobs::FrameStage::kSent, sent_at);
+    }
   }
 }
 

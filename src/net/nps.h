@@ -143,6 +143,13 @@ class NpsReceiver {
   // {stream, name}.
   void AttachObs(crobs::Hub* hub, const std::string& name);
 
+  // Points reassembly at the session's frame-trace ring: arrival/repair
+  // stamps, give-up misses, and playout delivery all land there. Also wired
+  // through to the local buffer so an unconsumed drop after reassembly is
+  // resolved (missed at kCompleted). Usually set by NpsSender::Start.
+  void set_frame_trace(crobs::SessionTrace* trace);
+  crobs::SessionTrace* frame_trace() const { return ftrace_; }
+
  private:
   // Reassembly state for one sequence number. A placeholder entry (created
   // on a sequence gap) has frag_count == 0 until a fragment arrives.
@@ -154,6 +161,10 @@ class NpsReceiver {
     int max_frag_seen = -1;
     crbase::Time sent_at = 0;
     crbase::Time created_at = 0;  // receiver host time
+    // Arrival of the newest *fresh* (non-retransmit) fragment: the frame
+    // trace's wire/repair boundary. A chunk completed entirely by fresh
+    // fragments gets a repair latency of exactly zero.
+    crbase::Time last_fresh_at = -1;
     bool timer_armed = false;
     crsim::EventId timer{};
     crbase::Duration backoff = 0;
@@ -188,6 +199,7 @@ class NpsReceiver {
   std::uint64_t expected_next_ = 0;  // every seq below this has an entry or is done
   NpsReceiverStats stats_;
   std::unique_ptr<ObsState> obs_;
+  crobs::SessionTrace* ftrace_ = nullptr;
 };
 
 struct NpsSenderStats {
@@ -236,6 +248,13 @@ class NpsSender {
   const NpsSenderStats& stats() const { return stats_; }
   std::size_t retained_chunks() const { return store_.size(); }
 
+  // Chunk index behind NPS sequence number `seq`, or -1 if the chunk is no
+  // longer retained. Sequence numbers are *not* chunk indexes — a skipped
+  // chunk consumes no seq — so the receiver maps a wholly-lost placeholder
+  // back to its frame identity through here (it holds the sender pointer
+  // whenever a reverse link is connected).
+  std::int64_t ChunkIndexOf(std::uint64_t seq) const;
+
   // Counters (nps.tx_*), labeled {stream, name}.
   void AttachObs(crobs::Hub* hub, const std::string& name);
 
@@ -266,8 +285,14 @@ class NpsSender {
   Options options_;
   bool retransmit_enabled_ = false;
   cras::SessionId session_ = cras::kInvalidSession;
+  crobs::SessionTrace* ftrace_ = nullptr;  // cached from the server at Start
   std::uint64_t next_seq_ = 0;
   std::map<std::uint64_t, StoredChunk> store_;
+  // seq -> chunk index for every chunk ever sent. Identity must outlive the
+  // retransmit store: the store prunes past-deadline entries, but the
+  // receiver may only observe a wholly-lost chunk's sequence gap after a
+  // sender stall, and the give-up still needs a frame to attribute.
+  std::vector<std::int64_t> sent_chunk_index_;
   NpsSenderStats stats_;
   std::unique_ptr<ObsState> obs_;
 };

@@ -1,8 +1,17 @@
 #include "src/net/stats_query.h"
 
 #include <memory>
+#include <sstream>
+#include <utility>
 
 namespace crnet {
+
+namespace {
+// Baselines retained for delta queries. Small and bounded: a client that
+// falls more than this many polls behind simply re-anchors on a full
+// snapshot.
+constexpr std::size_t kMaxBaselines = 8;
+}  // namespace
 
 StatsQueryService::StatsQueryService(crrt::Kernel& kernel, const crobs::Hub& hub, Link* link,
                                      const Options& options)
@@ -28,12 +37,55 @@ void StatsQueryService::Start() {
                            [this](crrt::ThreadContext& ctx) { return ServiceThread(ctx); });
 }
 
+std::string StatsQueryService::RenderDelta(std::uint64_t since) {
+  const crbase::Time now = kernel_->Now();
+  crobs::RegistrySnapshot current = hub_->metrics().Snapshot();
+
+  const Baseline* base = nullptr;
+  for (const Baseline& b : baselines_) {
+    if (b.cursor == since) {
+      base = &b;
+      break;
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"sim_time_ns\": " << now << ", \"cursor\": " << next_cursor_
+      << ", \"since\": " << since << ", \"window_ns\": "
+      << (base != nullptr ? now - base->at : now) << ", \"baseline_missing\": "
+      << (base == nullptr ? "true" : "false") << ", \"metrics\": ";
+  if (base != nullptr) {
+    crobs::DeltaSnapshot(base->snapshot, current).WriteJson(out);
+  } else {
+    current.WriteJson(out);
+  }
+  out << "}";
+
+  Baseline next;
+  next.cursor = next_cursor_++;
+  next.at = now;
+  next.snapshot = std::move(current);
+  baselines_.push_back(std::move(next));
+  while (baselines_.size() > kMaxBaselines) {
+    baselines_.pop_front();
+  }
+  return std::move(out).str();
+}
+
 crsim::Task StatsQueryService::ServiceThread(crrt::ThreadContext& ctx) {
   for (;;) {
     QueryMsg msg = co_await port_.Receive();
     co_await ctx.Compute(options_.cpu_per_query);
-    std::string json =
-        msg.dump ? hub_->FlightDumpJson(msg.reason) : hub_->MetricsJson(msg.prefix);
+    std::string json;
+    if (msg.dump) {
+      json = hub_->FlightDumpJson(msg.reason);
+    } else if (msg.slo) {
+      json = hub_->slo().StateJson();
+    } else if (msg.delta) {
+      json = RenderDelta(msg.since);
+    } else {
+      json = hub_->MetricsJson(msg.prefix);
+    }
     ++stats_.queries;
     stats_.reply_bytes += static_cast<std::int64_t>(json.size());
     if (link_ == nullptr) {

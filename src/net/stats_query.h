@@ -19,6 +19,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -72,6 +73,29 @@ class StatsQueryService {
     return QueryAwaiter{this, std::move(msg), {}};
   }
 
+  // Windowed-delta snapshot. The reply's "metrics" covers only activity
+  // since the baseline identified by `since` (the "cursor" of a previous
+  // delta reply): counters and histogram counts are subtracted, gauges keep
+  // their current value. `since` == 0 — or a cursor the service has already
+  // evicted (it keeps the most recent few baselines) — yields a full
+  // snapshot flagged "baseline_missing": true, and the client re-anchors on
+  // the returned cursor. An operator polling a 10 Mb/s link ships only the
+  // last window's activity instead of lifetime totals every time.
+  auto DeltaQuery(std::uint64_t since = 0) {
+    QueryMsg msg;
+    msg.delta = true;
+    msg.since = since;
+    return QueryAwaiter{this, std::move(msg), {}};
+  }
+
+  // SLO watchdog state: rolling-window burn rates per session and
+  // fleet-wide, rendered by crobs::SloMonitor::StateJson.
+  auto SloQuery() {
+    QueryMsg msg;
+    msg.slo = true;
+    return QueryAwaiter{this, std::move(msg), {}};
+  }
+
   // Remote flight-recorder dump: the reply is the hub's full dump document
   // (event window + budget-ledger tail + metrics snapshot) rendered at the
   // moment the service thread handles the query — the post-mortem pull an
@@ -89,6 +113,9 @@ class StatsQueryService {
   struct QueryMsg {
     std::string prefix;  // metric-family name filter; empty = everything
     bool dump = false;   // flight-recorder dump instead of a metrics snapshot
+    bool delta = false;  // windowed-delta snapshot against `since`
+    bool slo = false;    // SLO monitor state instead of a metrics snapshot
+    std::uint64_t since = 0;  // baseline cursor (delta queries only)
     std::string reason;  // recorded in the dump header (dump queries only)
     std::function<void(std::string)> done;
     // Client frame suspended until `done` fires. Owning: dropping the
@@ -118,7 +145,16 @@ class StatsQueryService {
     std::string await_resume() { return std::move(result); }
   };
 
+  // A retained full snapshot a later delta query subtracts against.
+  struct Baseline {
+    std::uint64_t cursor = 0;
+    crbase::Time at = 0;
+    crobs::RegistrySnapshot snapshot;
+  };
+
   crsim::Task ServiceThread(crrt::ThreadContext& ctx);
+  // Renders one delta reply and retires `since`'s baseline for the new one.
+  std::string RenderDelta(std::uint64_t since);
 
   crrt::Kernel* kernel_;
   const crobs::Hub* hub_;
@@ -128,6 +164,8 @@ class StatsQueryService {
   StatsQueryStats stats_;
   crsim::Task thread_;
   bool started_ = false;
+  std::deque<Baseline> baselines_;  // most recent kMaxBaselines, cursor-ordered
+  std::uint64_t next_cursor_ = 1;   // 0 is reserved for "no baseline"
 };
 
 }  // namespace crnet

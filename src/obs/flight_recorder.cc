@@ -45,6 +45,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "repair_decode_failed";
     case FlightEventKind::kResettled:
       return "resettled";
+    case FlightEventKind::kSloBurn:
+      return "slo_burn";
   }
   return "unknown";
 }

@@ -56,6 +56,9 @@ enum class FlightEventKind : std::uint8_t {
   // The gap from a kFaultInjected to the next kResettled is the fault's
   // recovery latency.
   kResettled,         // a: streams kept, b: streams shed by this settle
+  // An SLO budget is burning faster than allowed: a: session (-1 = fleet),
+  // b: dominant StageBucket, value: burn rate, detail: dominant stage name.
+  kSloBurn,
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

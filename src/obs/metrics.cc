@@ -68,7 +68,12 @@ double SeriesSnapshot::Percentile(double p) const {
     }
     const std::int64_t next = cumulative + buckets[i];
     if (static_cast<double>(next) >= rank) {
-      const double lower = i == 0 ? min : upper_bounds[i - 1];
+      // A snapshot is not guaranteed to carry upper_bounds.size() + 1
+      // buckets: hand-built and delta snapshots may disagree, and a
+      // single-bin series has no bounds at all. Any bucket past the bounds
+      // is treated as the overflow bin [last bound or min, max].
+      const double lower =
+          (i == 0 || i > upper_bounds.size()) ? min : upper_bounds[i - 1];
       const double upper = i < upper_bounds.size() ? upper_bounds[i] : max;
       const double frac =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(buckets[i]);
@@ -77,6 +82,50 @@ double SeriesSnapshot::Percentile(double p) const {
     cumulative = next;
   }
   return max;
+}
+
+RegistrySnapshot DeltaSnapshot(const RegistrySnapshot& older,
+                               const RegistrySnapshot& newer) {
+  RegistrySnapshot delta = newer;
+  for (FamilySnapshot& family : delta.families) {
+    const FamilySnapshot* base_family = nullptr;
+    for (const FamilySnapshot& candidate : older.families) {
+      if (candidate.name == family.name) {
+        base_family = &candidate;
+        break;
+      }
+    }
+    if (base_family == nullptr) {
+      continue;
+    }
+    for (SeriesSnapshot& series : family.series) {
+      const SeriesSnapshot* base = nullptr;
+      for (const SeriesSnapshot& candidate : base_family->series) {
+        if (candidate.labels == series.labels) {
+          base = &candidate;
+          break;
+        }
+      }
+      if (base == nullptr) {
+        continue;
+      }
+      series.counter -= base->counter;
+      if (family.kind == MetricKind::kHistogram) {
+        const double newer_sum = series.mean * static_cast<double>(series.count);
+        const double older_sum = base->mean * static_cast<double>(base->count);
+        series.count -= base->count;
+        series.mean = series.count > 0
+                          ? (newer_sum - older_sum) / static_cast<double>(series.count)
+                          : 0.0;
+        series.stddev = 0.0;
+        for (std::size_t i = 0; i < series.buckets.size() && i < base->buckets.size();
+             ++i) {
+          series.buckets[i] -= base->buckets[i];
+        }
+      }
+    }
+  }
+  return delta;
 }
 
 const SeriesSnapshot* RegistrySnapshot::Find(std::string_view name, Labels labels) const {

@@ -112,6 +112,17 @@ struct RegistrySnapshot {
   std::string ToJson() const;
 };
 
+// Windowed delta between two snapshots of the same registry: `newer` minus
+// `older`. Counters, histogram sample counts, and histogram buckets
+// subtract; histogram mean is recomputed from the subtracted sums (stddev
+// is not recoverable from two summaries and reads 0); min/max and gauges
+// keep the newer snapshot's values. Families or series absent from `older`
+// (registered mid-window) pass through unchanged. This is what
+// StatsQueryService's `since`-cursor mode serves, so a remote scraper sees
+// per-window activity instead of lifetime totals.
+RegistrySnapshot DeltaSnapshot(const RegistrySnapshot& older,
+                               const RegistrySnapshot& newer);
+
 // ---- Registry ----
 
 class Registry {

@@ -35,7 +35,18 @@ void Hub::WriteMetricsJson(std::ostream& out, std::string_view prefix) const {
       return std::string_view(family.name).substr(0, prefix.size()) != prefix;
     });
   }
-  out << "{\"sim_time_ns\": " << engine_->Now() << ", \"metrics\": ";
+  const StageAttribution& frames = frames_.Totals();
+  out << "{\"sim_time_ns\": " << engine_->Now() << ", \"health\": {"
+      << "\"trace_recorded\": " << tracer_.recorded()
+      << ", \"trace_dropped_events\": " << tracer_.dropped()
+      << ", \"flight_recorded\": " << flight_.recorded()
+      << ", \"flight_ring_overwrites\": " << flight_.dropped()
+      << ", \"flight_triggers\": " << flight_.triggers_fired()
+      << ", \"frames_resolved\": " << frames.frames_resolved()
+      << ", \"frames_evicted\": " << frames.frames_evicted
+      << ", \"frame_conservation_violations\": " << frames.conservation_violations
+      << ", \"frame_unattributed_ns\": " << frames.unattributed_ns
+      << ", \"slo_burn_events\": " << slo_.burn_events() << "}, \"metrics\": ";
   snapshot.WriteJson(out);
   out << "}\n";
 }

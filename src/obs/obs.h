@@ -15,7 +15,9 @@
 
 #include "src/base/time_units.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/frame_trace.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/sim/engine.h"
 
@@ -36,12 +38,16 @@ class Hub {
   struct Options {
     Tracer::Options trace;
     FlightRecorder::Options flight;
+    FrameTracer::Options frames;
+    SloMonitor::Options slo;
   };
 
   explicit Hub(const crsim::Engine& engine, const Options& options = {})
       : engine_(&engine),
         tracer_(engine, options.trace),
-        flight_(engine, this, options.flight) {}
+        flight_(engine, this, options.flight),
+        slo_(engine, this, options.slo),
+        frames_(engine, this, options.frames) {}
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 
@@ -51,6 +57,10 @@ class Hub {
   const Tracer& trace() const { return tracer_; }
   FlightRecorder& flight() { return flight_; }
   const FlightRecorder& flight() const { return flight_; }
+  FrameTracer& frames() { return frames_; }
+  const FrameTracer& frames() const { return frames_; }
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo() const { return slo_; }
 
   // The budget ledger is owned by the instrumented server (it dies with the
   // admission state it audits); the server points the hub at it so dumps can
@@ -64,7 +74,11 @@ class Hub {
   // the tracer ring's drop count), kept in lexicographic family order.
   RegistrySnapshot Snapshot() const;
 
-  // {"sim_time_ns": ..., "metrics": {<registry snapshot>}}
+  // {"sim_time_ns": ..., "health": {...}, "metrics": {<registry snapshot>}}
+  // The health block carries the observability plane's own loss counters —
+  // trace-ring drops, flight-ring overwrites, frame-ring evictions and
+  // attribution-conservation violations — so a consumer can tell whether the
+  // telemetry it is about to read is itself complete.
   // A non-empty `prefix` restricts the snapshot to metric families whose
   // name starts with it ("cras." — just the server, "volume." — just the
   // array), which keeps remote stat dumps small on a slow link.
@@ -85,6 +99,8 @@ class Hub {
   Registry metrics_;
   Tracer tracer_;
   FlightRecorder flight_;
+  SloMonitor slo_;
+  FrameTracer frames_;
   BudgetLedger* ledger_ = nullptr;
 };
 

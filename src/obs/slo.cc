@@ -1,0 +1,231 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/obs.h"
+
+namespace crobs {
+
+std::int64_t SloMonitor::Window::Frames() const {
+  std::int64_t n = 0;
+  for (const Bucket& b : ring) {
+    n += b.frames;
+  }
+  return n;
+}
+
+std::int64_t SloMonitor::Window::Misses() const {
+  std::int64_t n = 0;
+  for (const Bucket& b : ring) {
+    n += b.misses;
+  }
+  return n;
+}
+
+std::int64_t SloMonitor::Window::OverLatency() const {
+  std::int64_t n = 0;
+  for (const Bucket& b : ring) {
+    n += b.over_latency;
+  }
+  return n;
+}
+
+StageBucket SloMonitor::Window::Dominant() const {
+  double sums[kStageBucketCount] = {};
+  for (const Bucket& b : ring) {
+    for (int i = 0; i < kStageBucketCount; ++i) {
+      sums[i] += b.stage_ms[i];
+    }
+  }
+  int best = 0;
+  for (int i = 1; i < kStageBucketCount; ++i) {
+    if (sums[i] > sums[best]) {
+      best = i;
+    }
+  }
+  return static_cast<StageBucket>(best);
+}
+
+SloMonitor::SloMonitor(const crsim::Engine& engine, Hub* hub, const Options& options)
+    : engine_(&engine), hub_(hub), options_(options) {
+  if (!options_.enabled) {
+    return;
+  }
+  CRAS_CHECK(options_.bucket_width > 0) << "SLO bucket width must be positive";
+  CRAS_CHECK(options_.buckets > 0) << "SLO window needs at least one bucket";
+  fleet_.ring.resize(static_cast<std::size_t>(options_.buckets));
+}
+
+void SloMonitor::OnFrameResolved(std::int64_t session, bool missed, double e2e_ms,
+                                 const crbase::Duration bucket_ns[kStageBucketCount]) {
+  if (!options_.enabled) {
+    return;
+  }
+  AdvanceTo(engine_->Now());
+  Window& per_session = sessions_[session];
+  if (per_session.ring.empty()) {
+    per_session.ring.resize(static_cast<std::size_t>(options_.buckets));
+  }
+  const std::size_t slot =
+      static_cast<std::size_t>(epoch_ % static_cast<std::int64_t>(options_.buckets));
+  for (Window* window : {&fleet_, &per_session}) {
+    Bucket& bucket = window->ring[slot];
+    ++bucket.frames;
+    if (missed) {
+      ++bucket.misses;
+    }
+    if (e2e_ms > options_.latency_target_ms) {
+      ++bucket.over_latency;
+    }
+    for (int i = 0; i < kStageBucketCount; ++i) {
+      bucket.stage_ms[i] += static_cast<double>(bucket_ns[i]) / 1e6;
+    }
+  }
+}
+
+void SloMonitor::AdvanceTo(crbase::Time now) {
+  const std::int64_t target = now / options_.bucket_width;
+  if (target <= epoch_) {
+    return;
+  }
+  if (target - epoch_ >= static_cast<std::int64_t>(options_.buckets)) {
+    // The run jumped a full window ahead (idle gap); nothing in the rings
+    // is still in-window. Evaluate once on the way out, then start fresh.
+    Evaluate(-1, fleet_);
+    for (auto& [id, window] : sessions_) {
+      Evaluate(id, window);
+    }
+    for (Bucket& b : fleet_.ring) {
+      b.Clear();
+    }
+    for (auto& [id, window] : sessions_) {
+      for (Bucket& b : window.ring) {
+        b.Clear();
+      }
+    }
+    epoch_ = target;
+    return;
+  }
+  while (epoch_ < target) {
+    // Each rotation is an evaluation boundary: judge the window as it
+    // stands, then retire the bucket the new epoch will overwrite.
+    Evaluate(-1, fleet_);
+    for (auto& [id, window] : sessions_) {
+      Evaluate(id, window);
+    }
+    ++epoch_;
+    const std::size_t slot =
+        static_cast<std::size_t>(epoch_ % static_cast<std::int64_t>(options_.buckets));
+    fleet_.ring[slot].Clear();
+    for (auto& [id, window] : sessions_) {
+      window.ring[slot].Clear();
+    }
+  }
+}
+
+double SloMonitor::Burn(const Window& window, double* miss_burn,
+                        double* latency_burn) const {
+  const std::int64_t frames = window.Frames();
+  *miss_burn = 0;
+  *latency_burn = 0;
+  if (frames == 0) {
+    return 0;
+  }
+  const double miss_rate =
+      static_cast<double>(window.Misses()) / static_cast<double>(frames);
+  const double over_rate =
+      static_cast<double>(window.OverLatency()) / static_cast<double>(frames);
+  *miss_burn = options_.miss_budget > 0 ? miss_rate / options_.miss_budget : 0;
+  *latency_burn = options_.latency_budget > 0 ? over_rate / options_.latency_budget : 0;
+  return std::max(*miss_burn, *latency_burn);
+}
+
+void SloMonitor::Evaluate(std::int64_t session, const Window& window) {
+  if (window.Frames() < options_.min_frames) {
+    return;
+  }
+  double miss_burn = 0;
+  double latency_burn = 0;
+  const double burn = Burn(window, &miss_burn, &latency_burn);
+  if (burn <= 1.0) {
+    return;
+  }
+  ++burn_events_;
+  const StageBucket dominant = window.Dominant();
+  hub_->flight().Record(FlightEventKind::kSloBurn, session,
+                        static_cast<std::int64_t>(dominant), burn,
+                        StageBucketName(dominant));
+  if (session >= 0 || burn < options_.fast_burn) {
+    return;  // only fleet-wide fast burns freeze a dump
+  }
+  const crbase::Time now = engine_->Now();
+  if (last_trigger_ >= 0 && now - last_trigger_ < options_.min_trigger_gap) {
+    return;
+  }
+  last_trigger_ = now;
+  ++fast_burns_;
+  hub_->flight().Trigger(std::string("slo_fast_burn:") + StageBucketName(dominant));
+}
+
+std::int64_t SloMonitor::WindowFrames() const { return fleet_.Frames(); }
+std::int64_t SloMonitor::WindowMisses() const { return fleet_.Misses(); }
+
+double SloMonitor::MissBurnRate() const {
+  double miss_burn = 0;
+  double latency_burn = 0;
+  Burn(fleet_, &miss_burn, &latency_burn);
+  return miss_burn;
+}
+
+double SloMonitor::LatencyBurnRate() const {
+  double miss_burn = 0;
+  double latency_burn = 0;
+  Burn(fleet_, &miss_burn, &latency_burn);
+  return latency_burn;
+}
+
+StageBucket SloMonitor::DominantBucket() const { return fleet_.Dominant(); }
+
+void SloMonitor::WriteJson(std::ostream& out) const {
+  out << "{\"enabled\": " << (options_.enabled ? "true" : "false");
+  if (!options_.enabled) {
+    out << "}";
+    return;
+  }
+  double miss_burn = 0;
+  double latency_burn = 0;
+  Burn(fleet_, &miss_burn, &latency_burn);
+  out << ", \"window_ns\": "
+      << options_.bucket_width * static_cast<std::int64_t>(options_.buckets)
+      << ", \"frames\": " << fleet_.Frames() << ", \"misses\": " << fleet_.Misses()
+      << ", \"over_latency\": " << fleet_.OverLatency()
+      << ", \"miss_burn\": " << miss_burn << ", \"latency_burn\": " << latency_burn
+      << ", \"dominant_stage\": \"" << StageBucketName(fleet_.Dominant()) << "\""
+      << ", \"burn_events\": " << burn_events_ << ", \"fast_burns\": " << fast_burns_
+      << ", \"sessions\": [";
+  bool first = true;
+  for (const auto& [id, window] : sessions_) {
+    double session_miss = 0;
+    double session_latency = 0;
+    Burn(window, &session_miss, &session_latency);
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << "{\"id\": " << id << ", \"frames\": " << window.Frames()
+        << ", \"misses\": " << window.Misses() << ", \"miss_burn\": " << session_miss
+        << ", \"latency_burn\": " << session_latency << "}";
+  }
+  out << "]}";
+}
+
+std::string SloMonitor::StateJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+}  // namespace crobs

@@ -1,0 +1,105 @@
+// SLO watchdog over the frame tracer.
+//
+// Two budgets, in the SRE error-budget sense: a frame-miss rate budget and
+// a latency budget (fraction of frames over an end-to-end target). The
+// monitor keeps rolling windows — fleet-wide and per session — as rings of
+// fixed-width time buckets; at every bucket rotation it computes the *burn
+// rate* of each budget (observed bad fraction / budgeted bad fraction, so
+// 1.0 means "spending the budget exactly as fast as allowed"). A burn above
+// 1.0 emits a `slo_burn` flight-recorder event carrying the dominant stage
+// bucket — the attribution table names the owner in the same breath as the
+// alarm — and a fast burn freezes an automatic flight dump.
+
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/base/time_units.h"
+#include "src/obs/frame_trace.h"
+#include "src/sim/engine.h"
+
+namespace crobs {
+
+class Hub;
+
+class SloMonitor {
+ public:
+  struct Options {
+    bool enabled = false;
+    // Rolling window = bucket_width * buckets.
+    crbase::Duration bucket_width = crbase::Seconds(1);
+    int buckets = 10;
+    double miss_budget = 0.01;         // budgeted frame-miss fraction
+    double latency_target_ms = 500.0;  // per-frame end-to-end target
+    double latency_budget = 0.05;      // budgeted fraction over the target
+    double fast_burn = 8.0;            // burn rate that freezes a flight dump
+    std::int64_t min_frames = 32;      // a window judges only past this depth
+    crbase::Duration min_trigger_gap = crbase::Seconds(5);
+  };
+
+  SloMonitor(const crsim::Engine& engine, Hub* hub, const Options& options);
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+
+  // Record-path entry, called by FrameTracer for every resolved frame.
+  void OnFrameResolved(std::int64_t session, bool missed, double e2e_ms,
+                       const crbase::Duration bucket_ns[kStageBucketCount]);
+
+  // Fleet-wide rolling-window state (recomputed on read; cheap — the window
+  // is a handful of buckets).
+  std::int64_t WindowFrames() const;
+  std::int64_t WindowMisses() const;
+  double MissBurnRate() const;
+  double LatencyBurnRate() const;
+  StageBucket DominantBucket() const;
+
+  std::int64_t burn_events() const { return burn_events_; }
+  std::int64_t fast_burns() const { return fast_burns_; }
+
+  // Deterministic JSON state document, served by StatsQueryService.
+  void WriteJson(std::ostream& out) const;
+  std::string StateJson() const;
+
+ private:
+  struct Bucket {
+    std::int64_t frames = 0;
+    std::int64_t misses = 0;
+    std::int64_t over_latency = 0;
+    double stage_ms[kStageBucketCount] = {};
+    void Clear() { *this = Bucket{}; }
+  };
+  struct Window {
+    std::vector<Bucket> ring;  // indexed by epoch % buckets
+    std::int64_t Frames() const;
+    std::int64_t Misses() const;
+    std::int64_t OverLatency() const;
+    StageBucket Dominant() const;
+  };
+
+  // Rotate the bucket rings up to the engine's current epoch, evaluating
+  // budgets at each rotation boundary.
+  void AdvanceTo(crbase::Time now);
+  void Evaluate(std::int64_t session, const Window& window);
+  double Burn(const Window& window, double* miss_burn, double* latency_burn) const;
+
+  const crsim::Engine* engine_;
+  Hub* hub_;
+  Options options_;
+  std::int64_t epoch_ = 0;  // current bucket number = now / bucket_width
+  Window fleet_;
+  std::map<std::int64_t, Window> sessions_;
+  std::int64_t burn_events_ = 0;
+  std::int64_t fast_burns_ = 0;
+  crbase::Time last_trigger_ = -1;
+};
+
+}  // namespace crobs
+
+#endif  // SRC_OBS_SLO_H_

@@ -309,5 +309,57 @@ TEST(StatsQuery, NullLinkAnswersWithoutNetworkDelay) {
   EXPECT_LT(answered - asked, Milliseconds(10));
 }
 
+// Pulls the integer value of a top-level `"key": N` field out of a reply.
+std::int64_t ExtractField(const std::string& json, const std::string& key) {
+  const std::size_t pos = json.find("\"" + key + "\": ");
+  if (pos == std::string::npos) {
+    return -1;
+  }
+  return std::strtoll(json.c_str() + pos + key.size() + 4, nullptr, 10);
+}
+
+TEST(StatsQuery, DeltaQueryShipsWindowedActivity) {
+  cras::Testbed bed;
+  bed.StartServers();
+  StatsQueryService stats(bed.kernel, bed.hub, nullptr);
+  stats.Start();
+  crobs::Counter* ticks = bed.hub.metrics().GetCounter("test.ticks");
+  ticks->Add(5);
+
+  std::string first, second, bogus;
+  crsim::Task query = bed.kernel.Spawn(
+      "delta-scraper", crrt::kPriorityClient, [&](crrt::ThreadContext& ctx) -> crsim::Task {
+        // Cursor 0 = "no baseline": the reply is a full snapshot that also
+        // establishes the baseline the next query subtracts against.
+        first = co_await stats.DeltaQuery(0);
+        ticks->Add(3);
+        const std::uint64_t cursor =
+            static_cast<std::uint64_t>(ExtractField(first, "cursor"));
+        second = co_await stats.DeltaQuery(cursor);
+        // An unknown (expired or fabricated) cursor degrades to a full
+        // snapshot rather than failing the scrape.
+        bogus = co_await stats.DeltaQuery(cursor + 9999);
+        (void)ctx;
+      });
+  bed.engine().RunFor(Milliseconds(100));
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_NE(first.find("\"baseline_missing\": true"), std::string::npos);
+  EXPECT_EQ(ExtractCounter(first, "test.ticks"), 5);
+  EXPECT_GT(ExtractField(first, "cursor"), 0);
+
+  ASSERT_FALSE(second.empty());
+  // The windowed delta carries only the activity since the cursor — the
+  // 3 new ticks, not the lifetime total of 8.
+  EXPECT_NE(second.find("\"baseline_missing\": false"), std::string::npos);
+  EXPECT_EQ(ExtractField(second, "since"), ExtractField(first, "cursor"));
+  EXPECT_EQ(ExtractCounter(second, "test.ticks"), 3);
+  EXPECT_GT(ExtractField(second, "window_ns"), -1);
+
+  ASSERT_FALSE(bogus.empty());
+  EXPECT_NE(bogus.find("\"baseline_missing\": true"), std::string::npos);
+  EXPECT_EQ(ExtractCounter(bogus, "test.ticks"), 8);
+}
+
 }  // namespace
 }  // namespace crnet

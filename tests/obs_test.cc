@@ -502,12 +502,71 @@ TEST(Percentile, AppearsInMetricsJson) {
   }
 }
 
+TEST(Percentile, MoreBucketsThanBoundsStaysInRange) {
+  // Regression: a snapshot whose buckets vector is longer than its bounds
+  // (the trailing overflow bin plus any stale extras) indexed upper_bounds
+  // past the end when computing a bucket's lower edge. Every percentile of
+  // a hand-built snapshot must stay inside [min, max].
+  SeriesSnapshot s;
+  s.count = 3;
+  s.buckets = {1, 1, 1};  // one real bound, two bins past it
+  s.upper_bounds = {1.0};
+  s.min = 0.5;
+  s.max = 9.0;
+  for (const double p : {0.0, 10.0, 60.0, 95.0, 100.0}) {
+    const double v = s.Percentile(p);
+    EXPECT_GE(v, s.min) << "p" << p;
+    EXPECT_LE(v, s.max) << "p" << p;
+  }
+}
+
+TEST(Percentile, SingleBinWithoutBoundsInterpolatesMinToMax) {
+  // Regression: a single-bin histogram with an empty bounds vector walked
+  // off upper_bounds for both edges. The only bin spans [min, max].
+  SeriesSnapshot s;
+  s.count = 2;
+  s.buckets = {2};
+  s.upper_bounds = {};
+  s.min = 3.0;
+  s.max = 5.0;
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 4.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+}
+
 TEST(Snapshot, HubSynthesizesTraceDropCounter) {
   const std::string json = RunOnceAndSnapshot();
   // The tracer's drop count rides along as a counter family, and every
   // histogram family carries its interpolated percentiles.
   EXPECT_NE(json.find("\"obs.trace_dropped_events\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Snapshot, HealthBlockSurfacesRingPressure) {
+  // MetricsJson leads with a health block so a scraper can tell whether the
+  // observability rings themselves overflowed — a truncated flight ring or
+  // a dropping tracer means later analysis runs on partial evidence.
+  crsim::Engine engine;
+  Hub::Options options;
+  options.trace.enabled = true;
+  options.trace.capacity = 4;
+  options.flight.capacity = 2;
+  Hub hub(engine, options);
+  const std::uint32_t track = hub.trace().InternTrack("t");
+  const std::uint32_t name = hub.trace().InternName("tick");
+  for (int i = 0; i < 10; ++i) {
+    hub.trace().Instant(track, name);
+  }
+  for (int i = 0; i < 5; ++i) {
+    hub.flight().Record(FlightEventKind::kDeadlineMiss, i);
+  }
+  const std::string json = hub.MetricsJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"health\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_dropped_events\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"flight_ring_overwrites\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"frame_conservation_violations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_burn_events\": 0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
